@@ -1,0 +1,95 @@
+// Command mosbench runs the experiments that regenerate the tables and
+// figures of "An Analysis of Linux Scalability to Many Cores" (OSDI 2010)
+// against the simulated 48-core machine.
+//
+// Usage:
+//
+//	mosbench -list
+//	mosbench -experiment fig4
+//	mosbench -experiment fig5 -cores 1,8,48 -csv
+//	mosbench -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/mosbench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		cores = flag.String("cores", "", "comma-separated core counts (default: standard sweep)")
+		quick = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of tables")
+		seed  = flag.Uint64("seed", 1, "deterministic PRNG seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range mosbench.Experiments() {
+			fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Paper)
+		}
+	case *all:
+		for _, e := range mosbench.Experiments() {
+			if err := runOne(e.ID, *cores, *quick, *csv, *seed); err != nil {
+				fatal(err)
+			}
+		}
+	case *exp != "":
+		if err := runOne(*exp, *cores, *quick, *csv, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id, coresFlag string, quick, csv bool, seed uint64) error {
+	o := mosbench.Options{Quick: quick, Seed: seed}
+	if coresFlag != "" {
+		cs, err := parseCores(coresFlag)
+		if err != nil {
+			return err
+		}
+		o.Cores = cs
+	}
+	s, err := mosbench.Run(id, o)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(s.CSV())
+	} else {
+		fmt.Println(s.Table())
+	}
+	return nil
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q: %v", part, err)
+		}
+		if n < 1 || n > 48 {
+			return nil, fmt.Errorf("core count %d out of range [1,48]", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mosbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Mapreduce: super-pages turn Metis from kernel-bound to DRAM-bound.
+//
+// The paper's Figure 11: with 4 KB pages, concurrent soft page faults
+// serialize on the region-list lock; with 2 MB super-pages on the patched
+// kernel the faults nearly vanish and the reduce phase runs into the
+// machine's DRAM bandwidth instead (§5.8).
+package main
+
+import (
+	"fmt"
+
+	"repro/mosbench"
+)
+
+func main() {
+	fmt.Println("Metis inverted index, jobs/hour/core (simulated)")
+	fmt.Printf("%-6s %20s %20s %12s\n", "cores", "stock + 4KB pages", "PK + 2MB pages", "2MB kfrac")
+	for _, cores := range []int{1, 8, 16, 24, 36, 48} {
+		small, err := mosbench.RunMetis(mosbench.MetisConfig{
+			Cores: cores, PK: false, SuperPages: false,
+		})
+		check(err)
+		super, err := mosbench.RunMetis(mosbench.MetisConfig{
+			Cores: cores, PK: true, SuperPages: true,
+		})
+		check(err)
+		fmt.Printf("%-6d %20.0f %20.0f %12.3f\n",
+			cores, small.PerCore*3600, super.PerCore*3600, super.KernelFraction)
+	}
+	fmt.Println("\nWith super-pages the kernel fraction is negligible: the residual")
+	fmt.Println("decline is the reduce phase saturating the ~51.5 GB/s DRAM ceiling.")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

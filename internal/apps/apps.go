@@ -1,0 +1,75 @@
+// Package apps implements the seven MOSBENCH applications as workload
+// models that issue the same kernel-operation mix the paper describes
+// (§3): Exim, memcached, Apache, PostgreSQL, gmake, Psearchy's pedsort,
+// and Metis. Each Run* function executes a closed-loop steady-state run on
+// a kernel.Kernel and reports throughput and CPU-time breakdowns in the
+// units of the paper's figures.
+//
+// The applications are drivers, not ports: per §5.1, the goal is "to
+// evaluate the Linux kernel's multicore performance, using the
+// applications to generate a reasonably realistic mix of system calls."
+// Fixed user-mode work constants are calibrated so single-core
+// kernel-time fractions roughly match §3's measurements (Exim 69%,
+// memcached 80%, Apache 60%, PostgreSQL 1.5%, gmake 7.6%, pedsort 1.9%,
+// Metis 3%).
+package apps
+
+import (
+	"repro/internal/topo"
+)
+
+// Result is the outcome of one application run at one core count.
+type Result struct {
+	// App is the application name.
+	App string
+	// Variant distinguishes configurations within a figure (e.g.
+	// "stock", "pk", "stock+threads").
+	Variant string
+	// Cores is the number of active cores.
+	Cores int
+	// Ops is the number of application-level operations completed
+	// (messages, requests, queries, builds, jobs).
+	Ops int64
+	// WallCycles is the virtual time the run took.
+	WallCycles int64
+	// UserCycles and SysCycles are total busy cycles across cores.
+	UserCycles, SysCycles int64
+}
+
+// Throughput returns total operations per second of virtual time.
+func (r Result) Throughput() float64 {
+	if r.WallCycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / topo.CyclesToSec(r.WallCycles)
+}
+
+// PerCore returns operations per second per core — the y-axis of the
+// paper's scalability plots.
+func (r Result) PerCore() float64 { return r.Throughput() / float64(r.Cores) }
+
+// UserMicrosPerOp returns user-mode CPU microseconds consumed per
+// operation, the paper's second y-axis.
+func (r Result) UserMicrosPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return topo.CyclesToMicros(r.UserCycles) / float64(r.Ops)
+}
+
+// SysMicrosPerOp returns system-mode CPU microseconds per operation.
+func (r Result) SysMicrosPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return topo.CyclesToMicros(r.SysCycles) / float64(r.Ops)
+}
+
+// KernelFraction returns the fraction of busy CPU time spent in the kernel.
+func (r Result) KernelFraction() float64 {
+	total := r.UserCycles + r.SysCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(r.SysCycles) / float64(total)
+}

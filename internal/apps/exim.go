@@ -1,0 +1,176 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// EximOpts configures the mail-server workload (§3.1, §5.2).
+type EximOpts struct {
+	// MessagesPerCore is the per-core message budget for the run.
+	MessagesPerCore int
+	// SpoolDirs is the number of spool directories incoming mail is
+	// hashed across (the paper's modified configuration uses 62).
+	SpoolDirs int
+	// MessagesPerConn is how many messages each SMTP connection carries
+	// (the paper's clients send 10 to avoid port exhaustion).
+	MessagesPerConn int
+	// Users is the number of distinct destination mailboxes (one per
+	// client in the paper, 96 clients).
+	Users int
+	// AvoidExec mirrors the deliver_drop_privilege configuration, which
+	// avoids an exec per mail message.
+	AvoidExec bool
+}
+
+// DefaultEximOpts returns the paper's configuration.
+func DefaultEximOpts() EximOpts {
+	return EximOpts{
+		MessagesPerCore: 40,
+		SpoolDirs:       62,
+		MessagesPerConn: 10,
+		Users:           96,
+		AvoidExec:       true,
+	}
+}
+
+// Exim per-message fixed work (cycles). Calibrated so one core spends
+// roughly 69% of its time in the kernel (§3.1), with an absolute message
+// cost within the paper's order of magnitude (hundreds of microseconds).
+const (
+	eximUserWorkPerMessage = 260_000 // parsing, routing, Berkeley DB
+	eximSMTPBytes          = 400     // SMTP envelope + 20-byte body
+	eximHeaderBytes        = 600     // stored message with headers
+)
+
+// RunExim executes the Exim workload: one worker per core processes SMTP
+// connections; each message forks a per-connection process and two
+// delivery processes, queues the message in a hashed spool directory,
+// appends to the per-user mail file, deletes the spooled copy, and logs.
+func RunExim(k *kernel.Kernel, opts EximOpts) Result {
+	e := k.Engine
+	fs := k.FS
+	stack := k.NewStack(nil) // clients are on the same machine: loopback
+
+	// Set up spool directories, user mailboxes, and the shared log.
+	for d := 0; d < opts.SpoolDirs; d++ {
+		fs.MustMkdirAll(fmt.Sprintf("/var/spool/input/%02d", d))
+	}
+	for u := 0; u < opts.Users; u++ {
+		fs.MustCreateFile(fmt.Sprintf("/var/mail/user%02d", u), 0)
+	}
+	fs.MustCreateFile("/var/log/exim/mainlog", 0)
+	for _, path := range eximConfigPaths {
+		fs.MustCreateFile(path, 4096)
+	}
+
+	cores := k.Machine.NCores
+	for c := 0; c < cores; c++ {
+		c := c
+		e.Spawn(c, fmt.Sprintf("exim-%d", c), 0, func(p *sim.Proc) {
+			mailAS := k.NewAddressSpace(p.Chip())
+			master := k.Procs.NewInitProcess(mailAS)
+			sent := 0
+			for sent < opts.MessagesPerCore {
+				// One SMTP connection: the master accepts and forks a
+				// per-connection process.
+				conn := stack.DialLoopback(p)
+				connProc := k.Procs.Fork(p, master, mailAS)
+				k.Procs.ChildStart(p, connProc)
+				n := opts.MessagesPerConn
+				if rem := opts.MessagesPerCore - sent; n > rem {
+					n = rem
+				}
+				for m := 0; m < n; m++ {
+					user := e.Rand.Intn(opts.Users)
+					spool := e.Rand.Intn(opts.SpoolDirs)
+					eximMessage(k, p, stack, conn, connProc, user, spool, opts)
+					sent++
+				}
+				k.Procs.Exit(p, connProc)
+				stack.CloseLoopback(p, conn)
+			}
+		})
+	}
+	e.Run()
+	return Result{
+		App:        "Exim",
+		Cores:      cores,
+		Ops:        int64(cores * opts.MessagesPerCore),
+		WallCycles: e.Now(),
+		UserCycles: e.TotalUserCycles(),
+		SysCycles:  e.TotalSysCycles(),
+	}
+}
+
+// eximMessage models receiving and delivering one message.
+func eximMessage(k *kernel.Kernel, p *sim.Proc, stack *netsim.Stack, conn *netsim.LoopbackConn,
+	connProc *proc.Process, user, spool int, opts EximOpts) {
+
+	fs := k.FS
+	dir := fmt.Sprintf("/var/spool/input/%02d", spool)
+	msgName := fmt.Sprintf("m%d-%d", p.Core(), p.Now())
+
+	// Receive the message body over the SMTP connection.
+	stack.LoopbackXfer(p, conn, eximSMTPBytes)
+
+	// Configuration and hints lookups: Exim stats its configuration,
+	// router files, and Berkeley DB hints on each delivery, so each
+	// message performs many path walks (these are what make the stock
+	// vfsmount table so hot, §5.2).
+	for _, path := range eximConfigPaths {
+		fs.Stat(p, path)
+	}
+
+	// Queue: create header (-H) and data (-D) files in the spool
+	// directory. The per-directory i_mutex inside Create is the residual
+	// PK bottleneck.
+	fh := fs.Create(p, dir, msgName+"-H")
+	fs.Append(p, fh, eximHeaderBytes)
+	fs.Close(p, fh)
+	fd := fs.Create(p, dir, msgName+"-D")
+	fs.Append(p, fd, eximSMTPBytes)
+	fs.Close(p, fd)
+
+	// Fork twice to deliver the message (per-connection process forks a
+	// delivery pair, §3.1).
+	for i := 0; i < 2; i++ {
+		child := k.Procs.Fork(p, connProc, connProc.AS)
+		k.Procs.ChildStart(p, child)
+		if !opts.AvoidExec {
+			k.Procs.Exec(p)
+		}
+		k.Procs.Exit(p, child)
+	}
+
+	// Delivery: locate the spooled message, append to the user's
+	// mailbox, remove the spool files, and log the delivery.
+	fs.Stat(p, dir+"/"+msgName+"-H")
+	mailbox := fmt.Sprintf("/var/mail/user%02d", user)
+	mf := fs.Open(p, mailbox)
+	fs.Append(p, mf, eximHeaderBytes+eximSMTPBytes)
+	fs.Close(p, mf)
+	fs.Unlink(p, dir, msgName+"-H")
+	fs.Unlink(p, dir, msgName+"-D")
+	lf := fs.Open(p, "/var/log/exim/mainlog")
+	fs.Append(p, lf, 80)
+	fs.Close(p, lf)
+
+	// User-mode processing (routing, expansion, Berkeley DB hints).
+	p.AdvanceUser(eximUserWorkPerMessage)
+}
+
+// eximConfigPaths are the per-message stat targets (configuration, router
+// data, hints databases).
+var eximConfigPaths = []string{
+	"/etc/exim/exim.conf",
+	"/etc/exim/aliases",
+	"/var/spool/exim/db/retry",
+	"/var/spool/exim/db/wait-remote_smtp",
+	"/etc/passwd",
+	"/etc/localtime",
+}

@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// GmakeOpts configures the parallel kernel build (§3.5, §5.6).
+type GmakeOpts struct {
+	// Objects is the number of compilation units in the build DAG.
+	Objects int
+	// SerialPrepFrac is the fraction of total build work in the serial
+	// stage at the start (configure, header generation).
+	SerialPrepFrac float64
+	// SerialLinkFrac is the fraction in the final serial link.
+	SerialLinkFrac float64
+}
+
+// DefaultGmakeOpts returns a scaled-down Linux-kernel-like build. The
+// serial fractions are small: the paper measures a 35x speedup on 48
+// cores, which bounds the Amdahl serial share near 0.8%.
+func DefaultGmakeOpts() GmakeOpts {
+	return GmakeOpts{Objects: 480, SerialPrepFrac: 0.004, SerialLinkFrac: 0.004}
+}
+
+// gmake per-object work (cycles). The compiler dominates; system time is
+// 7.6% at one core (§3.5). Compile times vary: most objects are small, a
+// few are large (drivers vs. tiny headers), which creates the straggler
+// tail the paper mentions.
+const (
+	gmakeBaseCompile = 5_000_000 // median compile, user cycles (~2 ms)
+	gmakeSysPerJob   = 330_000   // faults, pipes, file I/O inside the compiler
+	gmakeSourceBytes = 20_000
+	gmakeObjBytes    = 12_000
+)
+
+// RunGmake executes one parallel build and reports builds/hour/core.
+func RunGmake(k *kernel.Kernel, opts GmakeOpts) Result {
+	e := k.Engine
+	fs := k.FS
+	// Sources and objects spread across per-subsystem directories, as in
+	// a kernel tree; this avoids a single hot directory dentry, which a
+	// real build does not have either.
+	for d := 0; d < 16; d++ {
+		fs.MustMkdirAll(fmt.Sprintf("/build/obj/d%02d", d))
+	}
+	for j := 0; j < opts.Objects; j++ {
+		fs.MustCreateFile(fmt.Sprintf("/build/src/d%02d/f%03d.c", j%16, j), gmakeSourceBytes)
+	}
+
+	cores := k.Machine.NCores
+
+	// Deterministic compile-cost mix: mostly uniform with a moderate
+	// tail, giving the straggler effect the paper mentions without
+	// dominating the schedule.
+	jobCost := func(j int) int64 {
+		switch {
+		case j%19 == 0:
+			return 3 * gmakeBaseCompile
+		case j%7 == 0:
+			return 3 * gmakeBaseCompile / 2
+		default:
+			return gmakeBaseCompile
+		}
+	}
+	var totalWork int64
+	for j := 0; j < opts.Objects; j++ {
+		totalWork += jobCost(j)
+	}
+	prep := int64(opts.SerialPrepFrac * float64(totalWork))
+	link := int64(opts.SerialLinkFrac * float64(totalWork))
+
+	next := 0       // shared job queue cursor (engine-serialized)
+	active := cores // workers still running
+
+	e.Spawn(0, "make", 0, func(master *sim.Proc) {
+		// Serial preparation stage.
+		master.AdvanceUser(prep)
+		for c := 0; c < cores; c++ {
+			c := c
+			master.Engine().Spawn(c, fmt.Sprintf("cc-%d", c), master.Now(), func(p *sim.Proc) {
+				as := k.NewAddressSpace(p.Chip())
+				self := k.Procs.NewInitProcess(as)
+				for {
+					j := next
+					if j >= opts.Objects {
+						break
+					}
+					next++
+					gmakeCompile(k, p, self, j, jobCost(j))
+				}
+				active--
+				if active == 0 {
+					// Last finisher performs the serial link.
+					p.AdvanceUser(link)
+				}
+			})
+		}
+	})
+	e.Run()
+	return Result{
+		App:        "gmake",
+		Cores:      cores,
+		Ops:        1, // one build
+		WallCycles: e.Now(),
+		UserCycles: e.TotalUserCycles(),
+		SysCycles:  e.TotalSysCycles(),
+	}
+}
+
+// gmakeCompile models one compiler invocation: fork+exec, read the source,
+// compile, write the object file.
+func gmakeCompile(k *kernel.Kernel, p *sim.Proc, self *proc.Process, j int, cost int64) {
+	fs := k.FS
+	child := k.Procs.Fork(p, self, self.AS)
+	k.Procs.ChildStart(p, child)
+	k.Procs.Exec(p)
+
+	src := fs.Open(p, fmt.Sprintf("/build/src/d%02d/f%03d.c", j%16, j))
+	fs.Read(p, src, gmakeSourceBytes)
+	fs.Close(p, src)
+
+	p.AdvanceUser(cost)
+	p.Advance(gmakeSysPerJob)
+
+	obj := fs.Create(p, fmt.Sprintf("/build/obj/d%02d", j%16), fmt.Sprintf("f%03d-%d.o", j, p.Core()))
+	fs.Append(p, obj, gmakeObjBytes)
+	fs.Close(p, obj)
+
+	k.Procs.Exit(p, child)
+}

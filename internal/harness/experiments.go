@@ -1,0 +1,357 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/kernel"
+	"repro/internal/topo"
+)
+
+// scale reduces an op budget for quick runs.
+func scale(n int, quick bool) int {
+	if quick {
+		n /= 4
+		if n < 5 {
+			n = 5
+		}
+	}
+	return n
+}
+
+// point converts an app result to a harness point.
+func point(r apps.Result, variant string, perCoreScale float64) Point {
+	return Point{
+		Cores:      r.Cores,
+		Variant:    variant,
+		PerCore:    r.PerCore() * perCoreScale,
+		UserMicros: r.UserMicrosPerOp(),
+		SysMicros:  r.SysMicrosPerOp(),
+	}
+}
+
+// ---- Application runners shared by fig3..fig11 ----
+
+func runExim(cfg kernel.Config, cores int, o Options) apps.Result {
+	k := kernel.New(topo.New(cores), cfg, o.seed())
+	opts := apps.DefaultEximOpts()
+	opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
+	return RunTagged(apps.RunExim(k, opts))
+}
+
+func runMemcached(cfg kernel.Config, cores int, o Options) apps.Result {
+	k := kernel.New(topo.New(cores), cfg, o.seed())
+	opts := apps.DefaultMemcachedOpts()
+	opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
+	return RunTagged(apps.RunMemcached(k, opts))
+}
+
+func runApache(cfg kernel.Config, cores int, single bool, o Options) apps.Result {
+	k := kernel.New(topo.New(cores), cfg, o.seed())
+	opts := apps.DefaultApacheOpts()
+	opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
+	opts.SingleInstance = single
+	return RunTagged(apps.RunApache(k, opts))
+}
+
+func runPostgres(cfg kernel.Config, cores int, writeFrac float64, mod bool, o Options) apps.Result {
+	k := kernel.New(topo.New(cores), cfg, o.seed())
+	opts := apps.DefaultPostgresOpts()
+	opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
+	opts.WriteFraction = writeFrac
+	opts.ModPG = mod
+	return RunTagged(apps.RunPostgres(k, opts))
+}
+
+func runGmake(cfg kernel.Config, cores int, o Options) apps.Result {
+	k := kernel.New(topo.New(cores), cfg, o.seed())
+	opts := apps.DefaultGmakeOpts()
+	opts.Objects = scale(opts.Objects, o.Quick)
+	return RunTagged(apps.RunGmake(k, opts))
+}
+
+func runPedsort(mode apps.PedsortMode, cores int, o Options) apps.Result {
+	m := topo.New(cores)
+	if mode == apps.PedsortProcsRR {
+		m = topo.NewRR(cores)
+	}
+	k := kernel.New(m, kernel.Stock(), o.seed())
+	opts := apps.DefaultPedsortOpts()
+	opts.Files = scale(opts.Files, o.Quick)
+	opts.Mode = mode
+	return RunTagged(apps.RunPedsort(k, opts))
+}
+
+func runMetis(super bool, cores int, o Options) apps.Result {
+	cfg := kernel.Stock()
+	if super {
+		cfg = kernel.PK()
+	}
+	k := kernel.New(topo.NewRR(cores), cfg, o.seed())
+	opts := apps.DefaultMetisOpts()
+	if o.Quick {
+		opts.InputBytes /= 4
+	}
+	opts.SuperPages = super
+	return RunTagged(apps.RunMetis(k, opts))
+}
+
+// RunTagged is an identity hook kept for future per-run instrumentation.
+func RunTagged(r apps.Result) apps.Result { return r }
+
+// stockPK runs a two-variant (Stock vs PK) sweep.
+func stockPK(o Options, unit string, id, title string,
+	run func(cfg kernel.Config, cores int, o Options) apps.Result, perCoreScale float64) *Series {
+
+	s := &Series{ID: id, Title: title, Unit: unit}
+	for _, cfgv := range []struct {
+		name string
+		cfg  kernel.Config
+	}{{"Stock", kernel.Stock()}, {"PK", kernel.PK()}} {
+		for _, c := range o.cores() {
+			r := run(cfgv.cfg, c, o)
+			s.Points = append(s.Points, point(r, cfgv.name, perCoreScale))
+		}
+	}
+	return s
+}
+
+// ---- Experiment registrations ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Kernel scalability problems and fixes",
+		Paper: "Figure 1: the 16 bottlenecks and their PK solutions",
+		Run: func(o Options) *Series {
+			s := &Series{ID: "fig1", Title: "Kernel scalability problems and fixes (Figure 1)"}
+			for _, f := range kernel.Fixes {
+				s.Notes = append(s.Notes,
+					fmt.Sprintf("%-22s [%s]", f.Name, strings.Join(f.Apps, ", ")),
+					"  problem:  "+f.Problem,
+					"  solution: "+f.Solution)
+			}
+			return s
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig3",
+		Title: "MOSBENCH summary: 48-core per-core throughput relative to 1 core",
+		Paper: "Figure 3: one bar pair (stock, PK) per application",
+		Run:   runFig3,
+	})
+
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Exim throughput and runtime breakdown",
+		Paper: "Figure 4: messages/sec/core and CPU us/message vs cores",
+		Run: func(o Options) *Series {
+			return stockPK(o, "msg/s/core", "fig4", "Exim (Figure 4)", runExim, 1)
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig5",
+		Title: "memcached throughput",
+		Paper: "Figure 5: requests/sec/core vs cores",
+		Run: func(o Options) *Series {
+			return stockPK(o, "req/s/core", "fig5", "memcached (Figure 5)", runMemcached, 1)
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Apache throughput and runtime breakdown",
+		Paper: "Figure 6: requests/sec/core and CPU us/request vs cores",
+		Run: func(o Options) *Series {
+			s := &Series{ID: "fig6", Title: "Apache (Figure 6)", Unit: "req/s/core"}
+			for _, c := range o.cores() {
+				// Stock: one instance per core on distinct ports (§5.4).
+				s.Points = append(s.Points, point(runApache(kernel.Stock(), c, false, o), "Stock", 1))
+			}
+			for _, c := range o.cores() {
+				s.Points = append(s.Points, point(runApache(kernel.PK(), c, true, o), "PK", 1))
+			}
+			return s
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig7",
+		Title: "PostgreSQL read-only workload",
+		Paper: "Figure 7: queries/sec/core and CPU us/query vs cores",
+		Run:   func(o Options) *Series { return runPostgresFig(o, "fig7", 0) },
+	})
+
+	register(Experiment{
+		ID:    "fig8",
+		Title: "PostgreSQL 95%/5% read/write workload",
+		Paper: "Figure 8: queries/sec/core and CPU us/query vs cores",
+		Run:   func(o Options) *Series { return runPostgresFig(o, "fig8", 0.05) },
+	})
+
+	register(Experiment{
+		ID:    "fig9",
+		Title: "gmake parallel kernel build",
+		Paper: "Figure 9: builds/hour/core and CPU sec/build vs cores",
+		Run: func(o Options) *Series {
+			// Builds/hour/core: scale jobs/sec/core by 3600.
+			return stockPK(o, "builds/hr/core", "fig9", "gmake (Figure 9)", runGmake, 3600)
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Psearchy/pedsort file indexing",
+		Paper: "Figure 10: jobs/hour/core for Threads, Procs, Procs RR",
+		Run: func(o Options) *Series {
+			s := &Series{ID: "fig10", Title: "pedsort (Figure 10)", Unit: "jobs/hr/core"}
+			for _, mode := range []apps.PedsortMode{apps.PedsortThreads, apps.PedsortProcs, apps.PedsortProcsRR} {
+				for _, c := range o.cores() {
+					s.Points = append(s.Points, point(runPedsort(mode, c, o), mode.String(), 3600))
+				}
+			}
+			return s
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Metis MapReduce inverted index",
+		Paper: "Figure 11: jobs/hour/core for 4KB stock vs 2MB PK",
+		Run: func(o Options) *Series {
+			s := &Series{ID: "fig11", Title: "Metis (Figure 11)", Unit: "jobs/hr/core"}
+			for _, super := range []bool{false, true} {
+				name := "Stock + 4KB pages"
+				if super {
+					name = "PK + 2MB pages"
+				}
+				for _, c := range o.cores() {
+					s.Points = append(s.Points, point(runMetis(super, c, o), name, 3600))
+				}
+			}
+			return s
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Remaining MOSBENCH bottlenecks at 48 cores on PK",
+		Paper: "Figure 12: residual bottleneck attribution (App vs HW)",
+		Run:   runFig12,
+	})
+}
+
+// runPostgresFig produces the three-variant PostgreSQL figure.
+func runPostgresFig(o Options, id string, writeFrac float64) *Series {
+	title := "PostgreSQL read-only (Figure 7)"
+	if writeFrac > 0 {
+		title = "PostgreSQL 95/5 read/write (Figure 8)"
+	}
+	s := &Series{ID: id, Title: title, Unit: "q/s/core"}
+	variants := []struct {
+		name string
+		cfg  kernel.Config
+		mod  bool
+	}{
+		{"Stock", kernel.Stock(), false},
+		{"Stock + mod PG", kernel.Stock(), true},
+		{"PK + mod PG", kernel.PK(), true},
+	}
+	for _, v := range variants {
+		for _, c := range o.cores() {
+			s.Points = append(s.Points, point(runPostgres(v.cfg, c, writeFrac, v.mod, o), v.name, 1))
+		}
+	}
+	return s
+}
+
+// runFig3 computes the summary bars: per-core throughput at 48 cores
+// relative to 1 core, stock vs PK, per application.
+func runFig3(o Options) *Series {
+	s := &Series{ID: "fig3", Title: "MOSBENCH summary (Figure 3)", Unit: "ratio 48c/1c"}
+	type appRun struct {
+		name  string
+		stock func(cores int) apps.Result
+		pk    func(cores int) apps.Result
+	}
+	appsList := []appRun{
+		{"Exim",
+			func(c int) apps.Result { return runExim(kernel.Stock(), c, o) },
+			func(c int) apps.Result { return runExim(kernel.PK(), c, o) }},
+		{"memcached",
+			func(c int) apps.Result { return runMemcached(kernel.Stock(), c, o) },
+			func(c int) apps.Result { return runMemcached(kernel.PK(), c, o) }},
+		{"Apache",
+			func(c int) apps.Result { return runApache(kernel.Stock(), c, false, o) },
+			func(c int) apps.Result { return runApache(kernel.PK(), c, true, o) }},
+		{"PostgreSQL",
+			func(c int) apps.Result { return runPostgres(kernel.Stock(), c, 0, false, o) },
+			func(c int) apps.Result { return runPostgres(kernel.PK(), c, 0, true, o) }},
+		{"gmake",
+			func(c int) apps.Result { return runGmake(kernel.Stock(), c, o) },
+			func(c int) apps.Result { return runGmake(kernel.PK(), c, o) }},
+		{"pedsort",
+			func(c int) apps.Result { return runPedsort(apps.PedsortThreads, c, o) },
+			func(c int) apps.Result { return runPedsort(apps.PedsortProcsRR, c, o) }},
+		{"Metis",
+			func(c int) apps.Result { return runMetis(false, c, o) },
+			func(c int) apps.Result { return runMetis(true, c, o) }},
+	}
+	s.Notes = append(s.Notes, "Table rows are applications, in Figure 3's order:")
+	for i, a := range appsList {
+		s1, s48 := a.stock(1), a.stock(48)
+		p1, p48 := a.pk(1), a.pk(48)
+		stockRatio := s48.PerCore() / s1.PerCore()
+		pkRatio := p48.PerCore() / p1.PerCore()
+		// The Cores column carries the application ordinal so the table
+		// renders one application per row.
+		s.Points = append(s.Points,
+			Point{Cores: i + 1, Variant: "Stock", PerCore: stockRatio},
+			Point{Cores: i + 1, Variant: "PK", PerCore: pkRatio})
+		s.Notes = append(s.Notes, fmt.Sprintf("  row %d: %-12s stock %.2f   PK %.2f",
+			i+1, a.name, stockRatio, pkRatio))
+	}
+	return s
+}
+
+// runFig12 classifies the residual 48-core bottleneck per application,
+// pairing the paper's attribution with this reproduction's measurement.
+func runFig12(o Options) *Series {
+	s := &Series{ID: "fig12", Title: "Remaining bottlenecks at 48 cores (Figure 12)"}
+	type row struct {
+		app, attribution string
+		retention        func() float64
+	}
+	ret := func(r1, r48 apps.Result) float64 { return r48.PerCore() / r1.PerCore() }
+	rows := []row{
+		{"Exim", "App: Contention on spool directories", func() float64 {
+			return ret(runExim(kernel.PK(), 1, o), runExim(kernel.PK(), 48, o))
+		}},
+		{"memcached", "HW: Transmit queues on NIC", func() float64 {
+			return ret(runMemcached(kernel.PK(), 1, o), runMemcached(kernel.PK(), 48, o))
+		}},
+		{"Apache", "HW: Receive queues on NIC", func() float64 {
+			return ret(runApache(kernel.PK(), 1, true, o), runApache(kernel.PK(), 48, true, o))
+		}},
+		{"PostgreSQL", "App: Application-level spin lock", func() float64 {
+			return ret(runPostgres(kernel.PK(), 1, 0, true, o), runPostgres(kernel.PK(), 48, 0, true, o))
+		}},
+		{"gmake", "App: Serial stages and stragglers", func() float64 {
+			return ret(runGmake(kernel.PK(), 1, o), runGmake(kernel.PK(), 48, o))
+		}},
+		{"pedsort", "HW: Cache capacity", func() float64 {
+			return ret(runPedsort(apps.PedsortProcsRR, 1, o), runPedsort(apps.PedsortProcsRR, 48, o))
+		}},
+		{"Metis", "HW: DRAM throughput", func() float64 {
+			return ret(runMetis(true, 1, o), runMetis(true, 48, o))
+		}},
+	}
+	for _, r := range rows {
+		s.Notes = append(s.Notes,
+			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, r.retention()))
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileNamesThePaperBottlenecks(t *testing.T) {
+	s := ByID("profile").Run(quickOpts())
+	joined := strings.Join(s.Notes, "\n")
+	// The stock profile must point at the objects Figure 1 names.
+	for _, want := range []string{"vfsmount_lock", "dst_entry.refcnt", "proto.memory_allocated"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("profile missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestSloppyThresholdSweepShape(t *testing.T) {
+	s := ByID("sloppy-threshold").Run(quickOpts())
+	t1, ok1 := s.Get("threshold=1", 48)
+	t16, ok16 := s.Get("threshold=16", 48)
+	t64, ok64 := s.Get("threshold=64", 48)
+	if !ok1 || !ok16 || !ok64 {
+		t.Fatalf("missing sweep points: %+v", s.Points)
+	}
+	// A tiny threshold forces central traffic; beyond the working set's
+	// needs, bigger thresholds stop helping.
+	if t16.PerCore < 1.5*t1.PerCore {
+		t.Errorf("threshold 16 (%.0f) should far exceed threshold 1 (%.0f)",
+			t16.PerCore, t1.PerCore)
+	}
+	if t64.PerCore < 0.9*t16.PerCore {
+		t.Errorf("threshold 64 (%.0f) should not be below threshold 16 (%.0f)",
+			t64.PerCore, t16.PerCore)
+	}
+}
+
+func TestSpoolDirsSweepShape(t *testing.T) {
+	s := ByID("spool-dirs").Run(quickOpts())
+	d1, ok1 := s.Get("dirs=1", 48)
+	d62, ok62 := s.Get("dirs=62", 48)
+	if !ok1 || !ok62 {
+		t.Fatalf("missing sweep points: %+v", s.Points)
+	}
+	if d62.PerCore < 2*d1.PerCore {
+		t.Errorf("62 spool dirs (%.0f) should far exceed 1 dir (%.0f)",
+			d62.PerCore, d1.PerCore)
+	}
+}
+
+func TestLockMgrSweepShape(t *testing.T) {
+	s := ByID("lockmgr").Run(quickOpts())
+	m1, ok1 := s.Get("mutexes=1", 24)
+	m1024, ok2 := s.Get("mutexes=1024", 24)
+	if !ok1 || !ok2 {
+		t.Fatalf("missing sweep points: %+v", s.Points)
+	}
+	if m1024.PerCore < m1.PerCore {
+		t.Errorf("1024 mutexes (%.0f) should not lose to 1 mutex (%.0f)",
+			m1024.PerCore, m1.PerCore)
+	}
+}
+
+func TestScalableLocksOrdering(t *testing.T) {
+	s := ByID("scalable-locks").Run(quickOpts())
+	ticket, ok1 := s.Get("Stock (ticket lock)", 48)
+	mcs, ok2 := s.Get("Stock + MCS lock", 48)
+	refactor, ok3 := s.Get("Stock + mount refactoring", 48)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing variants: %+v", s.Points)
+	}
+	// A scalable lock helps (no waiter-proportional traffic), but the
+	// paper's data refactoring must win: the table entry and its
+	// refcount still serialize under MCS.
+	if mcs.PerCore <= ticket.PerCore {
+		t.Errorf("MCS (%.0f) should beat the ticket lock (%.0f)", mcs.PerCore, ticket.PerCore)
+	}
+	if refactor.PerCore < 1.5*mcs.PerCore {
+		t.Errorf("refactoring (%.0f) should far exceed the MCS lock (%.0f)",
+			refactor.PerCore, mcs.PerCore)
+	}
+}
+
+func TestSteeringSweepShape(t *testing.T) {
+	s := ByID("steering").Run(quickOpts())
+	low, ok1 := s.Get("misdirect=0%", 8)
+	high, ok2 := s.Get("misdirect=80%", 8)
+	if !ok1 || !ok2 {
+		t.Fatalf("missing sweep points: %+v", s.Points)
+	}
+	if low.PerCore <= high.PerCore {
+		t.Errorf("near-perfect steering (%.0f) should beat 80%% misdirection (%.0f)",
+			low.PerCore, high.PerCore)
+	}
+}

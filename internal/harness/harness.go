@@ -1,0 +1,177 @@
+// Package harness defines the experiments that regenerate every table and
+// figure in the paper's evaluation section, and formats their results as
+// the same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement: an application variant at one core count.
+type Point struct {
+	// Cores is the active core count.
+	Cores int
+	// Variant is the curve label (e.g. "Stock", "PK", "Stock + Procs RR").
+	Variant string
+	// PerCore is throughput per core in the figure's units.
+	PerCore float64
+	// UserMicros and SysMicros are CPU microseconds per operation.
+	UserMicros, SysMicros float64
+}
+
+// Series is the result of one experiment: one or more variant curves.
+type Series struct {
+	// ID is the experiment identifier (fig4, tbl-hw, ...).
+	ID string
+	// Title is a human-readable name.
+	Title string
+	// Unit is the per-core throughput unit (the figure's y-axis).
+	Unit string
+	// Points holds all measurements.
+	Points []Point
+	// Notes are free-form lines (tables, attributions, caveats).
+	Notes []string
+}
+
+// Variants returns the distinct variant labels in first-seen order.
+func (s *Series) Variants() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range s.Points {
+		if !seen[p.Variant] {
+			seen[p.Variant] = true
+			out = append(out, p.Variant)
+		}
+	}
+	return out
+}
+
+// Get returns the point for (variant, cores) and whether it exists.
+func (s *Series) Get(variant string, cores int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Variant == variant && p.Cores == cores {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Options controls an experiment run.
+type Options struct {
+	// Cores is the sweep; nil uses the experiment's default.
+	Cores []int
+	// Seed is the deterministic PRNG seed.
+	Seed uint64
+	// Quick shrinks op budgets and the sweep for fast smoke runs.
+	Quick bool
+}
+
+// DefaultCores is the standard sweep, a subset of the paper's x-axis.
+var DefaultCores = []int{1, 2, 4, 8, 16, 24, 32, 40, 48}
+
+// QuickCores is the abbreviated sweep used by Quick runs.
+var QuickCores = []int{1, 8, 48}
+
+func (o Options) cores() []int {
+	if len(o.Cores) > 0 {
+		return o.Cores
+	}
+	if o.Quick {
+		return QuickCores
+	}
+	return DefaultCores
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID matches the DESIGN.md index (fig1..fig12, tbl-hw, ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper cites what the artifact shows in the paper.
+	Paper string
+	// Run executes the experiment.
+	Run func(Options) *Series
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for i := range registry {
+		if registry[i].ID == id {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+// Format renders a series as an aligned text table, one row per core
+// count, one column group per variant — the shape of the paper's figures.
+func Format(s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", s.ID, s.Title)
+	if len(s.Points) > 0 {
+		variants := s.Variants()
+		coresSet := map[int]bool{}
+		for _, p := range s.Points {
+			coresSet[p.Cores] = true
+		}
+		var cores []int
+		for c := range coresSet {
+			cores = append(cores, c)
+		}
+		sort.Ints(cores)
+
+		fmt.Fprintf(&b, "%-6s", "cores")
+		for _, v := range variants {
+			fmt.Fprintf(&b, " | %-28s", v+" ("+s.Unit+", us u/s)")
+		}
+		b.WriteString("\n")
+		for _, c := range cores {
+			fmt.Fprintf(&b, "%-6d", c)
+			for _, v := range variants {
+				if p, ok := s.Get(v, c); ok {
+					fmt.Fprintf(&b, " | %10.1f %7.1f %7.1f ", p.PerCore, p.UserMicros, p.SysMicros)
+				} else {
+					fmt.Fprintf(&b, " | %-28s", "-")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range s.Notes {
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders a series as CSV with a header row.
+func CSV(s *Series) string {
+	var b strings.Builder
+	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g\n", s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros)
+	}
+	return b.String()
+}

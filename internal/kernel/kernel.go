@@ -1,0 +1,165 @@
+// Package kernel assembles the simulated kernel: the 16-fix configuration
+// (Figure 1 of the paper), the subsystem instances, and the engine that
+// runs workloads against them. A Kernel with Stock() config reproduces
+// Linux 2.6.35-rc5's scalability bottlenecks; PK() applies all of the
+// paper's fixes.
+package kernel
+
+import (
+	"repro/internal/mem"
+	"repro/internal/mm"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vfs"
+)
+
+// Config holds one boolean per kernel change in Figure 1.
+type Config struct {
+	// §4.2 — user per-core backlog queues for listening sockets.
+	ParallelAccept bool
+	// §4.3 — sloppy counters for dentry reference counts.
+	SloppyDentryRef bool
+	// §4.3 — sloppy counters for mount-point (vfsmount) objects.
+	SloppyVfsmountRef bool
+	// §4.3 — sloppy counters for IP routing table entries (dst_entry).
+	SloppyDstRef bool
+	// §4.3 — sloppy counters for protocol memory usage tracking.
+	SloppyProtoMem bool
+	// §4.4 — lock-free protocol in dlookup for filename matches.
+	LockFreeDlookup bool
+	// §4.5 — per-core mount table caches.
+	PerCoreMountCache bool
+	// §4.5 — per-core open-file lists per super block.
+	PerCoreOpenList bool
+	// §4.5/§5.3 — allocate Ethernet DMA buffers from the local node.
+	LocalDMABuf bool
+	// §4.6 — place read-only net_device/device fields on own lines.
+	NetDevFalseSharingFix bool
+	// §4.6 — place read-only page fields on their own cache lines.
+	PageFalseSharingFix bool
+	// §4.7 — avoid the global inode-list locks when not necessary.
+	InodeListAvoidLock bool
+	// §4.7 — avoid the global dcache-list locks when not necessary.
+	DcacheListAvoidLock bool
+	// §4.7/§5.5 — atomic reads instead of the per-inode mutex in lseek.
+	AtomicLseek bool
+	// §4.7/§5.8 — one mutex per super-page mapping instead of one global.
+	PerMappingSuperPageMutex bool
+	// §4.7/§5.8 — zero super-pages with non-caching instructions.
+	NoncachingSuperPageZero bool
+
+	// ScalableMountLock is NOT one of the paper's 16 fixes: it swaps the
+	// mount table's ticket lock for an MCS queue lock, for the
+	// "scalable-locks" experiment contrasting better locks with the
+	// paper's data refactoring.
+	ScalableMountLock bool
+}
+
+// Stock returns the unmodified Linux 2.6.35-rc5 configuration.
+func Stock() Config { return Config{} }
+
+// PK returns the patched kernel: all 16 fixes applied.
+func PK() Config {
+	return Config{
+		ParallelAccept:           true,
+		SloppyDentryRef:          true,
+		SloppyVfsmountRef:        true,
+		SloppyDstRef:             true,
+		SloppyProtoMem:           true,
+		LockFreeDlookup:          true,
+		PerCoreMountCache:        true,
+		PerCoreOpenList:          true,
+		LocalDMABuf:              true,
+		NetDevFalseSharingFix:    true,
+		PageFalseSharingFix:      true,
+		InodeListAvoidLock:       true,
+		DcacheListAvoidLock:      true,
+		AtomicLseek:              true,
+		PerMappingSuperPageMutex: true,
+		NoncachingSuperPageZero:  true,
+	}
+}
+
+// VFS projects the VFS-relevant flags.
+func (c Config) VFS() vfs.Config {
+	return vfs.Config{
+		SloppyDentryRef:     c.SloppyDentryRef,
+		SloppyVfsmountRef:   c.SloppyVfsmountRef,
+		LockFreeDlookup:     c.LockFreeDlookup,
+		PerCoreMountCache:   c.PerCoreMountCache,
+		PerCoreOpenList:     c.PerCoreOpenList,
+		InodeListAvoidLock:  c.InodeListAvoidLock,
+		DcacheListAvoidLock: c.DcacheListAvoidLock,
+		AtomicLseek:         c.AtomicLseek,
+		ScalableMountLock:   c.ScalableMountLock,
+	}
+}
+
+// Net projects the network-stack flags.
+func (c Config) Net() netsim.Config {
+	return netsim.Config{
+		ParallelAccept:        c.ParallelAccept,
+		SloppyDstRef:          c.SloppyDstRef,
+		SloppyProtoMem:        c.SloppyProtoMem,
+		LocalDMABuf:           c.LocalDMABuf,
+		NetDevFalseSharingFix: c.NetDevFalseSharingFix,
+	}
+}
+
+// MM projects the memory-management flags.
+func (c Config) MM() mm.Config {
+	return mm.Config{
+		PerMappingSuperPageMutex: c.PerMappingSuperPageMutex,
+		NoncachingSuperPageZero:  c.NoncachingSuperPageZero,
+		PageFalseSharingFix:      c.PageFalseSharingFix,
+	}
+}
+
+// Kernel is one booted simulated machine: engine, memory model, and kernel
+// subsystems, ready to run a workload.
+type Kernel struct {
+	Cfg     Config
+	Machine *topo.Machine
+	Engine  *sim.Engine
+	MD      *mem.Model
+	Alloc   *mm.Allocator
+	FS      *vfs.FS
+	Procs   *proc.Table
+	Pages   *mm.PageStructs
+	DRAM    *mem.Bandwidth
+}
+
+// pageStructSample is the number of page structs modeled for false-sharing
+// purposes; enough to spread across chips without dominating memory.
+const pageStructSample = 256
+
+// New boots a kernel on the given machine with a deterministic seed.
+func New(m *topo.Machine, cfg Config, seed uint64) *Kernel {
+	md := mem.NewModel(m)
+	alloc := mm.NewAllocator(md)
+	k := &Kernel{
+		Cfg:     cfg,
+		Machine: m,
+		Engine:  sim.NewEngine(m, seed),
+		MD:      md,
+		Alloc:   alloc,
+		FS:      vfs.New(md, alloc, cfg.VFS()),
+		Pages:   mm.NewPageStructs(md, pageStructSample, cfg.PageFalseSharingFix),
+		DRAM:    mem.NewDRAMBandwidth(),
+	}
+	k.Procs = proc.NewTable(md, k.Pages)
+	return k
+}
+
+// NewStack creates a network stack on this kernel. nic may be nil for
+// loopback-only workloads.
+func (k *Kernel) NewStack(nic *netsim.NIC) *netsim.Stack {
+	return netsim.NewStack(k.MD, k.FS, nic, k.Cfg.Net())
+}
+
+// NewAddressSpace creates a process address space homed on the given chip.
+func (k *Kernel) NewAddressSpace(homeChip int) *mm.AddressSpace {
+	return mm.NewAddressSpace(k.MD, k.Alloc, k.Cfg.MM(), homeChip)
+}

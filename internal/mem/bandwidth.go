@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Bandwidth models a shared, rate-limited transfer resource such as the
+// machine's aggregate DRAM interface. Bulk data movement (Metis's reduce
+// phase, super-page zeroing) charges bytes against it; when aggregate
+// demand exceeds the configured rate, procs queue, which is exactly the
+// DRAM saturation the paper identifies as Metis's residual bottleneck
+// (§5.8: 50.0 GB/s demanded vs 51.5 GB/s achievable).
+type Bandwidth struct {
+	res            *sim.Resource
+	bytesPerCycle  float64
+	bytesRequested int64
+}
+
+// NewBandwidth returns a limiter with the given rate in bytes/second.
+func NewBandwidth(name string, bytesPerSec float64) *Bandwidth {
+	return &Bandwidth{
+		res:           sim.NewResource(name),
+		bytesPerCycle: bytesPerSec / topo.CyclesPerSec(),
+	}
+}
+
+// NewDRAMBandwidth returns a limiter for the paper machine's measured
+// maximum DRAM throughput.
+func NewDRAMBandwidth() *Bandwidth {
+	return NewBandwidth("dram", topo.DRAMMaxBytesPerSec)
+}
+
+// Transfer makes p wait for and then occupy the interface long enough to
+// move n bytes.
+func (b *Bandwidth) Transfer(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	b.bytesRequested += n
+	svc := int64(float64(n) / b.bytesPerCycle)
+	if svc < 1 {
+		svc = 1
+	}
+	b.res.Use(p, svc)
+}
+
+// CyclesFor returns how many cycles moving n bytes takes at full rate,
+// without queueing (for analytic uses).
+func (b *Bandwidth) CyclesFor(n int64) int64 {
+	svc := int64(float64(n) / b.bytesPerCycle)
+	if svc < 1 {
+		svc = 1
+	}
+	return svc
+}
+
+// BytesRequested returns the total bytes charged so far.
+func (b *Bandwidth) BytesRequested() int64 { return b.bytesRequested }
+
+// MissRatio is the analytic shared-cache capacity model used for workloads
+// whose working set grows with core count (pedsort's msort phase, §5.7).
+// It returns the fraction of accesses that miss a cache of `capacity` bytes
+// given a resident working set of `ws` bytes, assuming a uniform reuse
+// pattern: 0 when the set fits, approaching 1 as the set dwarfs the cache.
+func MissRatio(ws, capacity int64) float64 {
+	if ws <= capacity || ws <= 0 {
+		return 0
+	}
+	return float64(ws-capacity) / float64(ws)
+}

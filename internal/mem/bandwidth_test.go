@@ -1,0 +1,65 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestBandwidthRate(t *testing.T) {
+	// 24 bytes/sec at 2.4 GHz => 1e-8 bytes/cycle; 24 bytes => 1 second.
+	b := NewBandwidth("test", 24)
+	e := sim.NewEngine(topo.New(1), 1)
+	var end int64
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		b.Transfer(p, 24)
+		end = p.Now()
+	})
+	e.Run()
+	want := topo.SecToCycles(1.0)
+	if end != want {
+		t.Errorf("24B at 24B/s finished at %d cycles, want %d", end, want)
+	}
+}
+
+func TestBandwidthSaturationQueues(t *testing.T) {
+	// Two procs each move half the per-second capacity at once: the second
+	// must finish about twice as late as the first.
+	b := NewDRAMBandwidth()
+	e := sim.NewEngine(topo.New(2), 1)
+	n := int64(topo.DRAMMaxBytesPerSec / 2)
+	ends := make([]int64, 2)
+	for c := 0; c < 2; c++ {
+		c := c
+		e.Spawn(c, "mover", 0, func(p *sim.Proc) {
+			b.Transfer(p, n)
+			ends[c] = p.Now()
+		})
+	}
+	e.Run()
+	lo, hi := ends[0], ends[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi < lo*3/2 {
+		t.Errorf("saturated transfers finished at %d and %d; second should queue", lo, hi)
+	}
+	if b.BytesRequested() != 2*n {
+		t.Errorf("bytes requested = %d, want %d", b.BytesRequested(), 2*n)
+	}
+}
+
+func TestTransferZeroBytesIsFree(t *testing.T) {
+	b := NewDRAMBandwidth()
+	e := sim.NewEngine(topo.New(1), 1)
+	var end int64
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		b.Transfer(p, 0)
+		end = p.Now()
+	})
+	e.Run()
+	if end != 0 {
+		t.Errorf("zero-byte transfer advanced time to %d", end)
+	}
+}

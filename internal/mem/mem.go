@@ -1,0 +1,285 @@
+// Package mem is the cache-coherence cost model.
+//
+// The paper's central observation (§4.1) is that many-core scalability
+// problems manifest as cache misses on shared, mutable cache lines: writes
+// must invalidate all cached copies, reads of recently written data must
+// fetch from the writer's cache, and both cost "about the same time as
+// loading data from off-chip RAM (hundreds of cycles)".
+//
+// This package charges those costs. Kernel code paths name the shared lines
+// they touch (a dentry's refcount word, a spin lock word, a device stats
+// field); Model tracks, per line, which cores hold copies and who wrote
+// last, and returns the cycle cost of each access using the latencies from
+// internal/topo. It is a cost model, not a functional memory: lines carry no
+// data, only coherence state.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/prof"
+	"repro/internal/topo"
+)
+
+// Line is a handle for one 64-byte cache line.
+type Line int32
+
+// NoLine is the zero Line's invalid sentinel. Alloc never returns it, so a
+// zero-valued struct field can be detected as "not allocated".
+const NoLine Line = -1
+
+// state is the directory entry for one line.
+type state struct {
+	sharers uint64 // bitmask of cores holding a valid copy
+	owner   int8   // core that last wrote, -1 if never written
+	home    int8   // chip whose DRAM homes this line
+	dirty   bool   // true if owner's copy is modified
+
+	// busyUntil is when the line's current ownership transfer completes.
+	// The coherence protocol serializes modifications of one line (§4.1:
+	// "the cache coherence protocol serializes modifications to the same
+	// cache line, which can prevent parallel speedup"; §4.3: "the
+	// coherence hardware serializes the operations on a given counter").
+	// Writers arriving earlier than busyUntil queue behind it.
+	busyUntil int64
+}
+
+// Model is a directory-based coherence cost model for one machine.
+type Model struct {
+	mach  *topo.Machine
+	lines []state
+	stats []*prof.LineStats // per-line profile records, nil if unlabeled
+
+	// Prof collects contention statistics for this machine.
+	Prof *prof.Registry
+
+	// Stats
+	reads, writes   int64
+	remoteTransfers int64 // fetches that crossed a chip boundary
+}
+
+// NewModel returns an empty model for the given machine.
+func NewModel(m *topo.Machine) *Model {
+	if m.NCores > 64 {
+		panic("mem: sharer bitmask supports at most 64 cores")
+	}
+	return &Model{mach: m, Prof: prof.New()}
+}
+
+// Label attaches a profiler record to a line so its coherence traffic
+// appears in contention reports.
+func (md *Model) Label(l Line, name string) {
+	md.st(l) // bounds check
+	for int(l) >= len(md.stats) {
+		md.stats = append(md.stats, nil)
+	}
+	if md.stats[l] == nil {
+		md.stats[l] = md.Prof.Line(name)
+	}
+}
+
+// Machine returns the machine this model simulates.
+func (md *Model) Machine() *topo.Machine { return md.mach }
+
+// Alloc allocates a fresh line homed in the DRAM of the given chip.
+func (md *Model) Alloc(homeChip int) Line {
+	if homeChip < 0 || homeChip >= topo.Chips {
+		panic(fmt.Sprintf("mem: home chip %d out of range", homeChip))
+	}
+	md.lines = append(md.lines, state{owner: -1, home: int8(homeChip)})
+	return Line(len(md.lines) - 1)
+}
+
+// AllocLocal allocates a line homed on the chip of the given core, the
+// default NUMA placement for data first touched by that core.
+func (md *Model) AllocLocal(core int) Line {
+	return md.Alloc(md.mach.Chip(core))
+}
+
+// AllocN allocates n lines homed on the given chip and returns them.
+func (md *Model) AllocN(homeChip, n int) []Line {
+	ls := make([]Line, n)
+	for i := range ls {
+		ls[i] = md.Alloc(homeChip)
+	}
+	return ls
+}
+
+func (md *Model) st(l Line) *state {
+	if l < 0 || int(l) >= len(md.lines) {
+		panic(fmt.Sprintf("mem: access to unallocated line %d", l))
+	}
+	return &md.lines[l]
+}
+
+// Read returns the cycle cost for core c reading line l at virtual time
+// now, and updates the directory: c becomes a sharer; a dirty copy
+// elsewhere is downgraded. A read arriving while the line's ownership is
+// in flight waits for the transfer to finish but does not extend the busy
+// window (reads of a settled line proceed in parallel).
+func (md *Model) Read(c int, l Line, now int64) int64 {
+	s := md.st(l)
+	md.reads++
+	bit := uint64(1) << uint(c)
+	myChip := md.mach.Chip(c)
+
+	var wait int64
+	if s.busyUntil > now && s.sharers&bit == 0 {
+		wait = s.busyUntil - now
+	}
+
+	var cost int64
+	switch {
+	case s.sharers&bit != 0:
+		// Valid copy in this core's own cache.
+		cost = topo.LatL1
+	case s.dirty:
+		// Must fetch the modified copy from the owner's cache.
+		ownerChip := md.mach.Chip(int(s.owner))
+		cost = topo.RemoteCacheLatency(myChip, ownerChip)
+		if ownerChip != myChip {
+			md.remoteTransfers++
+		}
+		s.dirty = false // downgraded to shared; owner keeps a copy
+	case s.sharers != 0:
+		// Clean copy in some cache; nearest provider wins.
+		cost = md.fetchFromSharers(myChip, s)
+	default:
+		// Nobody caches it: DRAM access to the home node.
+		cost = topo.DRAMLatency(myChip, int(s.home))
+		if int(s.home) != myChip {
+			md.remoteTransfers++
+		}
+	}
+	s.sharers |= bit
+	return wait + cost
+}
+
+func (md *Model) fetchFromSharers(myChip int, s *state) int64 {
+	best := int64(-1)
+	for c := 0; c < md.mach.NCores; c++ {
+		if s.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		lat := topo.RemoteCacheLatency(myChip, md.mach.Chip(c))
+		if best < 0 || lat < best {
+			best = lat
+		}
+	}
+	if best == topo.LatL3 {
+		return best // same-chip L3 hit
+	}
+	md.remoteTransfers++
+	return best
+}
+
+// invalidatePerSharer is the extra cost charged to a writer for each remote
+// copy the coherence protocol must find and invalidate.
+const invalidatePerSharer = 20
+
+// Write returns the cycle cost for core c writing line l at virtual time
+// now, and updates the directory: all other copies are invalidated and c
+// becomes exclusive owner. Modifications of one line serialize: a write
+// arriving while a previous transfer is in flight queues behind it, and
+// its own transfer extends the busy window. This is what makes a single
+// contended counter a bottleneck no matter how "lock-free" it is.
+func (md *Model) Write(c int, l Line, now int64) int64 {
+	s := md.st(l)
+	md.writes++
+	bit := uint64(1) << uint(c)
+	myChip := md.mach.Chip(c)
+
+	var wait int64
+	if s.busyUntil > now {
+		wait = s.busyUntil - now
+	}
+
+	var cost int64
+	switch {
+	case s.dirty && s.owner == int8(c) && s.sharers == bit:
+		// Already exclusive and modified: cache hit.
+		cost = topo.LatL1
+	case s.dirty:
+		// Fetch modified data from previous owner, then own it.
+		ownerChip := md.mach.Chip(int(s.owner))
+		cost = topo.RemoteCacheLatency(myChip, ownerChip)
+		if ownerChip != myChip {
+			md.remoteTransfers++
+		}
+	case s.sharers != 0:
+		cost = md.fetchFromSharers(myChip, s)
+	default:
+		cost = topo.DRAMLatency(myChip, int(s.home))
+		if int(s.home) != myChip {
+			md.remoteTransfers++
+		}
+	}
+	// Invalidation traffic: proportional to the number of *other* caches
+	// holding copies (§4.1: "the protocol finds the cached copies and
+	// invalidates them").
+	others := popcount(s.sharers &^ bit)
+	cost += int64(others) * invalidatePerSharer
+
+	// Contention is not work-conserving: an op that had to queue keeps
+	// retrying and re-requesting while it waits, consuming line/directory
+	// bandwidth beyond its own transfer (§4.1: spin-lock-style traffic
+	// "proportional to the number of waiting cores"; acquisition "not
+	// scalable under contention"). The line therefore stays busy longer
+	// than the winner's transfer, capped at 3x.
+	occupancy := cost
+	if wait > 0 {
+		occupancy += min64(wait, 2*cost)
+	}
+
+	s.busyUntil = now + wait + occupancy
+	s.sharers = bit
+	s.owner = int8(c)
+	s.dirty = true
+
+	if int(l) < len(md.stats) && md.stats[l] != nil {
+		md.stats[l].Writes++
+		md.stats[l].WaitCycles += wait
+	}
+	return wait + cost
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// atomicRMWExtra is the extra cost of a locked read-modify-write over a
+// plain store (bus lock + pipeline serialization).
+const atomicRMWExtra = 10
+
+// Atomic returns the cost of an atomic read-modify-write (e.g. atomic
+// increment) by core c on line l at time now. The coherence cost
+// dominates; the atomic adds a small constant. This is the paper's point
+// in §4.3: "lock-free atomic increment ... do[es] not help, because the
+// coherence hardware serializes the operations on a given counter."
+func (md *Model) Atomic(c int, l Line, now int64) int64 {
+	return md.Write(c, l, now) + atomicRMWExtra
+}
+
+// Reads returns the total read count (for tests and reports).
+func (md *Model) Reads() int64 { return md.reads }
+
+// Writes returns the total write count.
+func (md *Model) Writes() int64 { return md.writes }
+
+// RemoteTransfers returns how many accesses crossed a chip boundary.
+func (md *Model) RemoteTransfers() int64 { return md.remoteTransfers }
+
+// NumLines returns how many lines have been allocated.
+func (md *Model) NumLines() int { return len(md.lines) }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

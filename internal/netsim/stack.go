@@ -1,0 +1,435 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/scount"
+	"repro/internal/sim"
+	"repro/internal/slock"
+	"repro/internal/vfs"
+)
+
+// Config selects stock vs PK behavior for the network stack.
+type Config struct {
+	// ParallelAccept uses per-core connection backlog queues for
+	// listening sockets, with stealing from other cores' queues (§4.2).
+	ParallelAccept bool
+	// SloppyDstRef reference-counts routing entries with sloppy counters.
+	SloppyDstRef bool
+	// SloppyProtoMem tracks per-protocol memory with sloppy counters.
+	SloppyProtoMem bool
+	// LocalDMABuf allocates packet buffers from per-core pools on the
+	// local memory node instead of one pool on node 0.
+	LocalDMABuf bool
+	// NetDevFalseSharingFix places read-only net_device/device fields on
+	// their own cache lines.
+	NetDevFalseSharingFix bool
+	// MisdirectProb overrides the probability that a short connection's
+	// packet is steered to the wrong core under the sampling-based flow
+	// director. Zero means the default (misdirectProbability). Used by
+	// the flow-director ablation; ignored when ParallelAccept is set.
+	MisdirectProb float64
+}
+
+// Per-packet fixed kernel work (cycles), besides the shared-line charges.
+const (
+	protoWork   = 1400 // IP + UDP/TCP protocol processing
+	driverWork  = 500  // descriptor/ring handling in the driver
+	copyPerByte = 16   // bytes per cycle copying payloads
+	sockQueueOp = 120  // per-socket queue lock + enqueue (uncontended)
+)
+
+// Stack is one machine's network stack instance.
+type Stack struct {
+	cfg Config
+	md  *mem.Model
+	fs  *vfs.FS
+	nic *NIC // nil for loopback-only use (Exim)
+
+	skb      *SkbPool
+	dst      scount.Counter // the hot route's dst_entry refcount
+	protoMem scount.Counter // per-protocol memory accounting (TCP or UDP)
+	netdev   *netDev        // net_device + device structures
+
+	misdirected int64
+}
+
+// netDev models the net_device/device structure pair. Every packet reads
+// read-only configuration fields and bumps a statistics counter. In the
+// stock layout both live on one cache line, so the stats writes invalidate
+// the configuration for every other core (§4.6, §5.3: "removing a single
+// falsely shared cache line in net_device increased throughput by 30% at
+// 48 cores"). The PK fix isolates the read-only fields on their own line;
+// the driver's statistics are kept per hardware queue, i.e. per core.
+type netDev struct {
+	md        *mem.Model
+	stockLine mem.Line   // config + stats together (stock)
+	cfgLine   mem.Line   // read-only fields alone (PK)
+	statLines []mem.Line // per-queue stats (PK)
+	padded    bool
+}
+
+func newNetDev(md *mem.Model, padded bool) *netDev {
+	nd := &netDev{md: md, padded: padded}
+	if padded {
+		nd.cfgLine = md.Alloc(0)
+		for c := 0; c < md.Machine().NCores; c++ {
+			nd.statLines = append(nd.statLines, md.AllocLocal(c))
+		}
+	} else {
+		nd.stockLine = md.Alloc(0)
+		md.Label(nd.stockLine, "net_device.config+stats")
+	}
+	return nd
+}
+
+// packetTouch charges the per-packet device accesses: config read + stats
+// update.
+func (nd *netDev) packetTouch(p *sim.Proc) int64 {
+	c := p.Core()
+	if nd.padded {
+		return nd.md.Read(c, nd.cfgLine, p.Now()) +
+			nd.md.Write(c, nd.statLines[c], p.Now())
+	}
+	return nd.md.Read(c, nd.stockLine, p.Now()) +
+		nd.md.Write(c, nd.stockLine, p.Now())
+}
+
+// NewStack builds a stack. fs provides socket (anonymous) inodes; nic may
+// be nil when all traffic is loopback.
+func NewStack(md *mem.Model, fs *vfs.FS, nic *NIC, cfg Config) *Stack {
+	s := &Stack{cfg: cfg, md: md, fs: fs, nic: nic}
+	s.skb = newSkbPool(md, cfg.LocalDMABuf)
+	if cfg.SloppyDstRef {
+		s.dst = scount.NewSloppy(md, 0)
+	} else {
+		dst := scount.NewShared(md, 0)
+		md.Label(dst.Line(), "dst_entry.refcnt")
+		s.dst = dst
+	}
+	if cfg.SloppyProtoMem {
+		s.protoMem = scount.NewSloppy(md, 0)
+	} else {
+		pm := scount.NewShared(md, 0)
+		md.Label(pm.Line(), "proto.memory_allocated")
+		s.protoMem = pm
+	}
+	s.netdev = newNetDev(md, cfg.NetDevFalseSharingFix)
+	return s
+}
+
+// Misdirected returns how many packets were steered to the wrong core.
+func (s *Stack) Misdirected() int64 { return s.misdirected }
+
+// SkbPool exposes the packet-buffer pool (statistics).
+func (s *Stack) SkbPool() *SkbPool { return s.skb }
+
+// rxPacket charges the receive path for one packet of n payload bytes.
+func (s *Stack) rxPacket(p *sim.Proc, n int64) {
+	if s.nic != nil {
+		s.nic.Transfer(p, 1)
+	}
+	s.skb.Get(p)
+	p.Advance(s.netdev.packetTouch(p) + driverWork)
+	s.protoMem.Acquire(p, 1)
+	s.dst.Acquire(p, 1)
+	p.Advance(protoWork + n/copyPerByte + sockQueueOp)
+	s.dst.Release(p, 1)
+	s.protoMem.Release(p, 1)
+	s.skb.Put(p)
+}
+
+// txPacket charges the transmit path for one packet of n payload bytes.
+func (s *Stack) txPacket(p *sim.Proc, n int64) {
+	s.skb.Get(p)
+	p.Advance(s.netdev.packetTouch(p) + driverWork)
+	s.protoMem.Acquire(p, 1)
+	s.dst.Acquire(p, 1)
+	p.Advance(protoWork + n/copyPerByte)
+	s.dst.Release(p, 1)
+	s.protoMem.Release(p, 1)
+	s.skb.Put(p)
+	if s.nic != nil {
+		s.nic.Transfer(p, 1)
+	}
+}
+
+// ---- UDP (memcached) ----
+
+// UDPSocket is a bound UDP socket pinned to a core.
+type UDPSocket struct {
+	anon *vfs.AnonInode
+	core int
+}
+
+// NewUDPSocket creates a socket owned by the calling proc's core.
+func (s *Stack) NewUDPSocket(p *sim.Proc) *UDPSocket {
+	return &UDPSocket{anon: s.fs.CreateAnon(p), core: p.Core()}
+}
+
+// CloseUDP destroys the socket.
+func (s *Stack) CloseUDP(p *sim.Proc, u *UDPSocket) {
+	s.fs.ReleaseAnon(p, u.anon)
+}
+
+// RecvUDP charges receipt of one request datagram of n bytes.
+func (s *Stack) RecvUDP(p *sim.Proc, u *UDPSocket, n int64) {
+	s.rxPacket(p, n)
+}
+
+// SendUDP charges transmission of one response datagram of n bytes.
+func (s *Stack) SendUDP(p *sim.Proc, u *UDPSocket, n int64) {
+	s.txPacket(p, n)
+}
+
+// ---- TCP ----
+
+// Listener is a listening TCP socket. The stock kernel funnels all
+// incoming connection requests through one backlog queue protected by the
+// socket lock; PK gives each core its own backlog queue filled by the
+// hardware flow director, with stealing when the local queue is empty.
+type Listener struct {
+	lock        *slock.SpinLock // stock shared backlog lock
+	backlogLine mem.Line        // stock shared queue head
+	coreLines   []mem.Line      // PK per-core backlog queues
+	steals      int64
+}
+
+// Listen creates a listening socket.
+func (s *Stack) Listen(p *sim.Proc) *Listener {
+	l := &Listener{
+		lock:        slock.NewSpinLock(s.md, "accept-backlog", 0),
+		backlogLine: s.md.Alloc(0),
+	}
+	if !s.cfg.ParallelAccept {
+		s.md.Label(l.backlogLine, "tcp.accept_backlog")
+	}
+	n := s.md.Machine().NCores
+	for c := 0; c < n; c++ {
+		l.coreLines = append(l.coreLines, s.md.AllocLocal(c))
+	}
+	return l
+}
+
+// Conn is an accepted TCP connection.
+type Conn struct {
+	anon *vfs.AnonInode
+	// local is true when all packet processing for the connection happens
+	// on the accepting core (PK parallel accept with flow steering).
+	local bool
+}
+
+// tcpHandshakePackets is the packet count charged at accept: the inbound
+// SYN and ACK plus the outbound SYN-ACK.
+const tcpHandshakePackets = 3
+
+// stealProbability approximates how often a PK accept finds its local
+// backlog empty and steals from another core (load imbalance is small in
+// the paper's closed-loop experiments).
+const stealProbability = 0.05
+
+// Accept dequeues one connection request. The caller is assumed to be a
+// server thread that will process the connection on this core.
+func (s *Stack) Accept(p *sim.Proc, l *Listener) *Conn {
+	conn := &Conn{}
+	if s.cfg.ParallelAccept {
+		// Local backlog: a core-private line, no shared lock.
+		if p.Engine().Rand.Float64() < stealProbability {
+			// Steal from a neighbor's queue: remote line traffic.
+			victim := p.Engine().Rand.Intn(len(l.coreLines))
+			p.Advance(s.md.Write(p.Core(), l.coreLines[victim], p.Now()))
+			l.steals++
+		} else {
+			p.Advance(s.md.Write(p.Core(), l.coreLines[p.Core()], p.Now()))
+		}
+		conn.local = true
+	} else {
+		l.lock.Acquire(p)
+		p.Advance(s.md.Write(p.Core(), l.backlogLine, p.Now()) + sockQueueOp)
+		l.lock.Release(p)
+		conn.local = false
+	}
+	conn.anon = s.fs.CreateAnon(p)
+	// Handshake packets processed by this core.
+	for i := 0; i < tcpHandshakePackets; i++ {
+		s.chargeSteering(p, conn)
+		if i < 2 {
+			s.rxPacket(p, 60)
+		} else {
+			s.txPacket(p, 60)
+		}
+	}
+	return conn
+}
+
+// NewSteeredConn returns an established connection whose packets the
+// hardware flow director reliably delivers to this core — the behavior of
+// long-lived connections under the IXGBE sampling approach (§4.2: "This
+// design typically performs well for long-lived connections"). PostgreSQL
+// relies on it on both kernels (§5.5).
+func (s *Stack) NewSteeredConn(p *sim.Proc) *Conn {
+	return &Conn{anon: s.fs.CreateAnon(p), local: true}
+}
+
+// misdirectProbability is the chance a short connection's packet lands on
+// the wrong core under the stock sampling-based flow director (§4.2: "it
+// is likely that the majority of packets on a given short connection will
+// be misdirected").
+const misdirectProbability = 0.6
+
+// chargeSteering charges the cache misses of a misdirected packet: the
+// socket state lives on the processing core, the packet arrived on another.
+func (s *Stack) chargeSteering(p *sim.Proc, c *Conn) {
+	if c.local {
+		return
+	}
+	prob := s.cfg.MisdirectProb
+	if prob == 0 {
+		prob = misdirectProbability
+	}
+	if p.Engine().Rand.Float64() < prob {
+		s.misdirected++
+		// The packet is handled on the wrong core: socket state, receive
+		// queue head, and packet data bounce between the two cores, and
+		// the right core must be woken remotely.
+		p.Advance(4*300 + 800)
+	}
+}
+
+// Recv charges receipt of n bytes on the connection (one packet per MSS).
+func (s *Stack) Recv(p *sim.Proc, c *Conn, n int64) {
+	for _, seg := range segments(n) {
+		s.chargeSteering(p, c)
+		s.rxPacket(p, seg)
+	}
+}
+
+// Send charges transmission of n bytes on the connection.
+func (s *Stack) Send(p *sim.Proc, c *Conn, n int64) {
+	for _, seg := range segments(n) {
+		s.txPacket(p, seg)
+	}
+}
+
+// CloseConn tears the connection down (FIN exchange + socket inode).
+func (s *Stack) CloseConn(p *sim.Proc, c *Conn) {
+	s.chargeSteering(p, c)
+	s.rxPacket(p, 60)
+	s.txPacket(p, 60)
+	s.fs.ReleaseAnon(p, c.anon)
+}
+
+// mss is the TCP maximum segment size used for packetization.
+const mss = 1448
+
+func segments(n int64) []int64 {
+	if n <= 0 {
+		return []int64{0}
+	}
+	var segs []int64
+	for n > mss {
+		segs = append(segs, mss)
+		n -= mss
+	}
+	return append(segs, n)
+}
+
+// ---- Loopback (Exim) ----
+
+// LoopbackConn is a same-machine TCP connection: no NIC, no DMA buffers,
+// but still socket inodes and protocol work.
+type LoopbackConn struct {
+	anon *vfs.AnonInode
+}
+
+// DialLoopback creates a client->server loopback connection.
+func (s *Stack) DialLoopback(p *sim.Proc) *LoopbackConn {
+	return &LoopbackConn{anon: s.fs.CreateAnon(p)}
+}
+
+// LoopbackXfer charges a loopback send+receive of n bytes.
+func (s *Stack) LoopbackXfer(p *sim.Proc, c *LoopbackConn, n int64) {
+	s.protoMem.Acquire(p, 1)
+	p.Advance(protoWork + n/copyPerByte + sockQueueOp)
+	s.protoMem.Release(p, 1)
+}
+
+// CloseLoopback destroys the loopback connection.
+func (s *Stack) CloseLoopback(p *sim.Proc, c *LoopbackConn) {
+	s.fs.ReleaseAnon(p, c.anon)
+}
+
+// ---- skb pool ----
+
+// SkbPool is the packet-buffer free list. Stock: one list on memory node 0
+// under one lock (all DMA buffers come from the node nearest the PCI bus);
+// PK: per-core free lists on local nodes (§4.5).
+type SkbPool struct {
+	perCore bool
+	md      *mem.Model
+
+	lock     *slock.SpinLock
+	listLine mem.Line
+
+	coreLocks []*slock.SpinLock
+	coreLines []mem.Line
+
+	gets int64
+}
+
+func newSkbPool(md *mem.Model, perCore bool) *SkbPool {
+	sp := &SkbPool{
+		perCore:  perCore,
+		md:       md,
+		lock:     slock.NewSpinLock(md, "skb-pool-node0", 0),
+		listLine: md.Alloc(0),
+	}
+	if !perCore {
+		md.Label(sp.listLine, "skb.free_list(node0)")
+	}
+	n := md.Machine().NCores
+	for c := 0; c < n; c++ {
+		sp.coreLocks = append(sp.coreLocks,
+			slock.NewSpinLock(md, fmt.Sprintf("skb-pool-cpu%d", c), md.Machine().Chip(c)))
+		sp.coreLines = append(sp.coreLines, md.AllocLocal(c))
+	}
+	return sp
+}
+
+const skbWork = 80 // buffer init once allocated
+
+// Get allocates a packet buffer.
+func (sp *SkbPool) Get(p *sim.Proc) {
+	sp.gets++
+	if sp.perCore {
+		c := p.Core()
+		sp.coreLocks[c].Acquire(p)
+		p.Advance(sp.md.Write(c, sp.coreLines[c], p.Now()) + skbWork)
+		sp.coreLocks[c].Release(p)
+		return
+	}
+	sp.lock.Acquire(p)
+	p.Advance(sp.md.Write(p.Core(), sp.listLine, p.Now()) + skbWork)
+	sp.lock.Release(p)
+}
+
+// Put frees a packet buffer back to the pool.
+func (sp *SkbPool) Put(p *sim.Proc) {
+	if sp.perCore {
+		c := p.Core()
+		sp.coreLocks[c].Acquire(p)
+		p.Advance(sp.md.Write(c, sp.coreLines[c], p.Now()))
+		sp.coreLocks[c].Release(p)
+		return
+	}
+	sp.lock.Acquire(p)
+	p.Advance(sp.md.Write(p.Core(), sp.listLine, p.Now()))
+	sp.lock.Release(p)
+}
+
+// Gets returns the number of allocations served.
+func (sp *SkbPool) Gets() int64 { return sp.gets }
+
+// Node0Lock exposes the stock pool lock (statistics).
+func (sp *SkbPool) Node0Lock() *slock.SpinLock { return sp.lock }

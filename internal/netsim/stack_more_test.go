@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConnLifecyclePacketCount(t *testing.T) {
+	// One accept + recv + send + close must move the expected packets
+	// through the NIC: 3 handshake + 1 data in + 1 data out + 2 FIN.
+	nic := NewNIC(ApacheNIC(), 1)
+	e, s := newStack(1, pkCfg(), nic)
+	e.Spawn(0, "srv", 0, func(p *sim.Proc) {
+		l := s.Listen(p)
+		conn := s.Accept(p, l)
+		s.Recv(p, conn, 100)
+		s.Send(p, conn, 100)
+		s.CloseConn(p, conn)
+	})
+	e.Run()
+	if got := nic.Packets(); got != 7 {
+		t.Errorf("connection lifecycle moved %d packets, want 7", got)
+	}
+}
+
+func TestLargeSendSegments(t *testing.T) {
+	nic := NewNIC(ApacheNIC(), 1)
+	e, s := newStack(1, pkCfg(), nic)
+	e.Spawn(0, "srv", 0, func(p *sim.Proc) {
+		conn := s.NewSteeredConn(p)
+		s.Send(p, conn, 4000) // 3 MSS-sized segments
+	})
+	e.Run()
+	if got := nic.Packets(); got != 3 {
+		t.Errorf("4000-byte send moved %d packets, want 3", got)
+	}
+}
+
+func TestSteeredConnNeverMisdirects(t *testing.T) {
+	e, s := newStack(4, stockCfg(), nil)
+	e.Spawn(0, "srv", 0, func(p *sim.Proc) {
+		conn := s.NewSteeredConn(p)
+		for i := 0; i < 50; i++ {
+			s.Recv(p, conn, 200)
+			s.Send(p, conn, 200)
+		}
+		s.CloseConn(p, conn)
+	})
+	e.Run()
+	if got := s.Misdirected(); got != 0 {
+		t.Errorf("steered connection misdirected %d packets, want 0", got)
+	}
+}
+
+func TestMisdirectProbOverride(t *testing.T) {
+	run := func(prob float64) int64 {
+		cfg := stockCfg()
+		cfg.MisdirectProb = prob
+		e, s := newStack(1, cfg, nil)
+		e.Spawn(0, "srv", 0, func(p *sim.Proc) {
+			l := s.Listen(p)
+			for i := 0; i < 40; i++ {
+				conn := s.Accept(p, l)
+				s.CloseConn(p, conn)
+			}
+		})
+		e.Run()
+		return s.Misdirected()
+	}
+	low, high := run(0.0001), run(0.99)
+	if low >= high {
+		t.Errorf("misdirects at p=0.0001 (%d) should be far below p=0.99 (%d)", low, high)
+	}
+}
+
+func TestAcceptStealsAreRare(t *testing.T) {
+	e, s := newStack(8, pkCfg(), nil)
+	var l *Listener
+	e.Spawn(0, "setup", 0, func(p *sim.Proc) {
+		l = s.Listen(p)
+		for c := 0; c < 8; c++ {
+			c := c
+			p.Engine().Spawn(c, "srv", p.Now(), func(wp *sim.Proc) {
+				for i := 0; i < 50; i++ {
+					conn := s.Accept(wp, l)
+					s.CloseConn(wp, conn)
+				}
+			})
+		}
+	})
+	e.Run()
+	if l.steals > 400/5 {
+		t.Errorf("steals = %d of 400 accepts; should be ~%v%%", l.steals, stealProbability*100)
+	}
+}
+
+func TestNICParamsValidationFloor(t *testing.T) {
+	// Absurdly high PPS must not produce a zero service time.
+	n := NewNIC(NICParams{PeakPPS: 1e18, QueueDeclineAfter: 48}, 1)
+	if n.PacketServiceCycles() < 1 {
+		t.Errorf("service cycles = %d, want >= 1", n.PacketServiceCycles())
+	}
+}

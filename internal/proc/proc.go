@@ -1,0 +1,131 @@
+// Package proc models process management: fork, exec, and exit, including
+// the cache behavior the paper highlights for Exim (§5.2): a forked child
+// scheduled on a different core suffers cache misses when it first touches
+// kernel data — especially virtual-address-mapping structures — that its
+// parent initialized, and process destruction frees those mappings with the
+// same cross-core penalty. Fork also touches shared page structures, which
+// false-share reference counts and flags in the stock layout (§4.6).
+package proc
+
+import (
+	"repro/internal/mem"
+	"repro/internal/mm"
+	"repro/internal/sim"
+	"repro/internal/slock"
+)
+
+// Fixed work constants (cycles at 2.4 GHz).
+const (
+	forkWork = 120_000 // copy mm, file table, signal state (~50 us)
+	execWork = 100_000 // load binary, set up fresh address space
+	exitWork = 40_000  // teardown besides the mapping frees
+	// ptSampleLines is how many page-table cache lines we sample per
+	// process to model parent/child transfer costs.
+	ptSampleLines = 24
+	// pageStructTouches is how many shared page structs a fork/exit
+	// touches (COW refcounting).
+	pageStructTouches = 32
+)
+
+// Table is the process table.
+type Table struct {
+	md *mem.Model
+	ps *mm.PageStructs
+
+	pidLock *slock.SpinLock // pidmap/tasklist lock
+	nextPID int
+
+	forks, execs, exits int64
+}
+
+// NewTable creates a process table. pageStructs models the shared page
+// array (padded or not per the PageFalseSharingFix).
+func NewTable(md *mem.Model, pageStructs *mm.PageStructs) *Table {
+	return &Table{
+		md:      md,
+		ps:      pageStructs,
+		pidLock: slock.NewSpinLock(md, "tasklist_lock", 0),
+	}
+}
+
+// Process is one simulated OS process.
+type Process struct {
+	PID int
+	// AS is the process's address space (may be shared between "threads").
+	AS *mm.AddressSpace
+	// ptLines sample the page-table lines the parent wrote during fork;
+	// the child's first touches and the final frees pay their transfer.
+	ptLines []mem.Line
+	// creatorCore is the core fork ran on.
+	creatorCore int
+}
+
+// NewInitProcess makes a root process at setup time (no cost).
+func (t *Table) NewInitProcess(as *mm.AddressSpace) *Process {
+	t.nextPID++
+	return &Process{PID: t.nextPID, AS: as}
+}
+
+// Fork creates a child of parent. The calling proc pays the fork cost:
+// fixed work, the pid lock, page-struct reference updates, and writes to
+// the sampled page-table lines (the data a cross-core child will miss on).
+func (t *Table) Fork(p *sim.Proc, parent *Process, childAS *mm.AddressSpace) *Process {
+	t.forks++
+	t.pidLock.Acquire(p)
+	t.nextPID++
+	pid := t.nextPID
+	t.pidLock.Release(p)
+
+	child := &Process{PID: pid, AS: childAS, creatorCore: p.Core()}
+	var cost int64 = forkWork
+	child.ptLines = make([]mem.Line, ptSampleLines)
+	for i := range child.ptLines {
+		child.ptLines[i] = t.md.AllocLocal(p.Core())
+		cost += t.md.Write(p.Core(), child.ptLines[i], p.Now())
+	}
+	p.Advance(cost)
+	for i := 0; i < pageStructTouches; i++ {
+		t.ps.Touch(p, t.md, pid*7+i)
+	}
+	return child
+}
+
+// ChildStart charges the child's first touches of the kernel data its
+// parent initialized; cheap if the child runs on the parent's core, a
+// string of remote fetches otherwise.
+func (t *Table) ChildStart(p *sim.Proc, child *Process) {
+	var cost int64
+	for _, l := range child.ptLines {
+		cost += t.md.Read(p.Core(), l, p.Now())
+	}
+	p.Advance(cost)
+}
+
+// Exec charges an exec: new address space, binary load.
+func (t *Table) Exec(p *sim.Proc) {
+	t.execs++
+	p.Advance(execWork)
+}
+
+// Exit tears the process down: page-struct releases and mapping frees,
+// writing the sampled page-table lines (remote if the process migrated).
+func (t *Table) Exit(p *sim.Proc, proc *Process) {
+	t.exits++
+	var cost int64 = exitWork
+	for _, l := range proc.ptLines {
+		cost += t.md.Write(p.Core(), l, p.Now())
+	}
+	p.Advance(cost)
+	for i := 0; i < pageStructTouches; i++ {
+		t.ps.Touch(p, t.md, proc.PID*7+i)
+	}
+}
+
+// Forks returns the total fork count.
+func (t *Table) Forks() int64 { return t.forks }
+
+// Execs returns the total exec count.
+func (t *Table) Execs() int64 { return t.execs }
+
+// Exits returns the total exit count.
+func (t *Table) Exits() int64 { return t.exits }

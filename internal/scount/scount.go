@@ -1,0 +1,211 @@
+// Package scount provides the simulated reference counters at the heart of
+// the paper's contribution (§4.3).
+//
+// A Shared counter is the stock kernel's single atomically updated word:
+// every increment and decrement from any core serializes on one cache line,
+// which is precisely the dentry/vfsmount/dst_entry bottleneck.
+//
+// A Sloppy counter represents one logical counter as a central shared count
+// plus a per-core count of *spare references*. A core acquiring a reference
+// first tries to take a spare from its local counter (a core-local cache
+// hit); only when it has none does it touch the central counter. Releases
+// put references back into the local spare pool, and pools above a
+// threshold are reconciled back to the central counter.
+//
+// Invariant (stated in the paper): the central count equals the number of
+// references in use plus the sum of all per-core spare counts. Check
+// verifies it after every operation in tests.
+package scount
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Counter is the common interface of Shared and Sloppy reference counters,
+// letting kernel objects (dentries, vfsmounts, dst entries) switch
+// disciplines with a config flag.
+type Counter interface {
+	// Acquire takes v references.
+	Acquire(p *sim.Proc, v int64)
+	// Release returns v references.
+	Release(p *sim.Proc, v int64)
+	// InUse returns the number of references currently held.
+	InUse() int64
+	// Reconcile computes the true logical value (expensive for Sloppy;
+	// used on paths like deallocation decisions).
+	Reconcile(p *sim.Proc) int64
+}
+
+// Shared is a single shared atomic reference counter.
+type Shared struct {
+	line  mem.Line
+	md    *mem.Model
+	value int64 // references issued (in use)
+}
+
+// NewShared allocates a shared counter homed on the given chip.
+func NewShared(md *mem.Model, homeChip int) *Shared {
+	return &Shared{md: md, line: md.Alloc(homeChip)}
+}
+
+// NewSharedAt creates a shared counter on an existing cache line, modeling
+// a refcount embedded in a structure alongside other hot fields.
+func NewSharedAt(md *mem.Model, line mem.Line) *Shared {
+	return &Shared{md: md, line: line}
+}
+
+// Line returns the cache line holding the counter.
+func (s *Shared) Line() mem.Line { return s.line }
+
+// Acquire atomically increments the counter; all cores serialize here.
+func (s *Shared) Acquire(p *sim.Proc, v int64) {
+	s.value += v
+	p.Advance(s.md.Atomic(p.Core(), s.line, p.Now()))
+}
+
+// Release atomically decrements the counter.
+func (s *Shared) Release(p *sim.Proc, v int64) {
+	if s.value < v {
+		panic(fmt.Sprintf("scount: releasing %d of %d references", v, s.value))
+	}
+	s.value -= v
+	p.Advance(s.md.Atomic(p.Core(), s.line, p.Now()))
+}
+
+// InUse returns the current reference count.
+func (s *Shared) InUse() int64 { return s.value }
+
+// Reconcile reads the counter (cheap for the shared discipline).
+func (s *Shared) Reconcile(p *sim.Proc) int64 {
+	p.Advance(s.md.Read(p.Core(), s.line, p.Now()))
+	return s.value
+}
+
+// DefaultSpareThreshold is the per-core spare cap above which spares are
+// returned to the central counter.
+const DefaultSpareThreshold = 8
+
+// Sloppy is the paper's sloppy counter.
+type Sloppy struct {
+	md *mem.Model
+
+	central     int64 // value of the shared central counter
+	centralLine mem.Line
+
+	spares     []int64    // per-core spare references
+	spareLines []mem.Line // each on its own cache line
+
+	inUse int64 // references handed out (model bookkeeping, not a kernel field)
+
+	// Threshold is the per-core spare cap; see DefaultSpareThreshold.
+	Threshold int64
+
+	centralOps, localOps int64
+}
+
+// NewSloppy allocates a sloppy counter: a central line on the given home
+// chip plus one line per core homed on that core's chip.
+func NewSloppy(md *mem.Model, homeChip int) *Sloppy {
+	n := md.Machine().NCores
+	s := &Sloppy{
+		md:          md,
+		centralLine: md.Alloc(homeChip),
+		spares:      make([]int64, n),
+		spareLines:  make([]mem.Line, n),
+		Threshold:   DefaultSpareThreshold,
+	}
+	for c := 0; c < n; c++ {
+		s.spareLines[c] = md.AllocLocal(c)
+	}
+	return s
+}
+
+// Acquire takes v references: from the local spare pool when possible,
+// otherwise from the central counter.
+func (s *Sloppy) Acquire(p *sim.Proc, v int64) {
+	c := p.Core()
+	s.inUse += v
+	if s.spares[c] >= v {
+		// Local decrement: typically a cache hit on this core's own line.
+		s.spares[c] -= v
+		s.localOps++
+		p.Advance(s.md.Write(c, s.spareLines[c], p.Now()))
+		return
+	}
+	// Not enough spares: acquire from the central counter. (Any local
+	// remainder stays; we take the whole v centrally, matching the
+	// paper's description.)
+	s.central += v
+	s.centralOps++
+	p.Advance(s.md.Atomic(c, s.centralLine, p.Now()))
+}
+
+// Release returns v references to the local spare pool, reconciling back to
+// the central counter when the pool exceeds the threshold.
+func (s *Sloppy) Release(p *sim.Proc, v int64) {
+	if s.inUse < v {
+		panic(fmt.Sprintf("scount: releasing %d of %d references", v, s.inUse))
+	}
+	c := p.Core()
+	s.inUse -= v
+	s.spares[c] += v
+	s.localOps++
+	cost := s.md.Write(c, s.spareLines[c], p.Now())
+	if s.spares[c] > s.Threshold {
+		// Return the excess above half the threshold to the central
+		// counter in one batch.
+		give := s.spares[c] - s.Threshold/2
+		s.spares[c] -= give
+		s.central -= give
+		s.centralOps++
+		cost += s.md.Atomic(c, s.centralLine, p.Now())
+	}
+	p.Advance(cost)
+}
+
+// InUse returns the number of references currently held.
+func (s *Sloppy) InUse() int64 { return s.inUse }
+
+// Reconcile computes the true value by visiting every per-core line — the
+// expensive operation the paper says makes sloppy counters suitable only
+// for rarely deallocated objects.
+func (s *Sloppy) Reconcile(p *sim.Proc) int64 {
+	var cost int64
+	total := s.central
+	for c := range s.spares {
+		cost += s.md.Read(p.Core(), s.spareLines[c], p.Now())
+		total -= s.spares[c]
+	}
+	cost += s.md.Read(p.Core(), s.centralLine, p.Now())
+	p.Advance(cost)
+	return total
+}
+
+// Check verifies the sloppy counter invariant: central == in-use + spares.
+// It returns an error rather than panicking so property tests can report
+// the broken state.
+func (s *Sloppy) Check() error {
+	var spares int64
+	for _, v := range s.spares {
+		spares += v
+	}
+	if s.central != s.inUse+spares {
+		return fmt.Errorf("scount: invariant broken: central=%d inUse=%d spares=%d",
+			s.central, s.inUse, spares)
+	}
+	return nil
+}
+
+// CentralOps returns how many operations touched the central counter.
+func (s *Sloppy) CentralOps() int64 { return s.centralOps }
+
+// LocalOps returns how many operations stayed core-local.
+func (s *Sloppy) LocalOps() int64 { return s.localOps }
+
+var (
+	_ Counter = (*Shared)(nil)
+	_ Counter = (*Sloppy)(nil)
+)

@@ -1,0 +1,214 @@
+package scount
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func setup(cores int) (*sim.Engine, *mem.Model) {
+	m := topo.New(cores)
+	return sim.NewEngine(m, 1), mem.NewModel(m)
+}
+
+func TestSharedCounterValue(t *testing.T) {
+	e, md := setup(4)
+	s := NewShared(md, 0)
+	for c := 0; c < 4; c++ {
+		e.Spawn(c, "p", 0, func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				s.Acquire(p, 1)
+			}
+			for i := 0; i < 10; i++ {
+				s.Release(p, 1)
+			}
+		})
+	}
+	e.Run()
+	if s.InUse() != 0 {
+		t.Errorf("final value = %d, want 0", s.InUse())
+	}
+}
+
+func TestSharedOverReleasePanics(t *testing.T) {
+	e, md := setup(1)
+	s := NewShared(md, 0)
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-release did not panic")
+			}
+		}()
+		s.Release(p, 1)
+	})
+	e.Run()
+}
+
+func TestSloppyInvariantUnderRandomOps(t *testing.T) {
+	// Property: after any sequence of acquire/release pairs from random
+	// cores, central == inUse + sum(spares).
+	check := func(seed uint64, opsPattern []uint8) bool {
+		m := topo.New(48)
+		e := sim.NewEngine(m, seed)
+		md := mem.NewModel(m)
+		s := NewSloppy(md, 0)
+		held := make([]int, 48)
+		broken := false
+		for c := 0; c < 48; c++ {
+			c := c
+			e.Spawn(c, "p", 0, func(p *sim.Proc) {
+				for _, op := range opsPattern {
+					if op%2 == 0 || held[c] == 0 {
+						s.Acquire(p, 1)
+						held[c]++
+					} else {
+						s.Release(p, 1)
+						held[c]--
+					}
+					if s.Check() != nil {
+						broken = true
+					}
+					p.Advance(10)
+				}
+			})
+		}
+		e.Run()
+		return !broken && s.Check() == nil
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSloppyReconcileIsTrueValue(t *testing.T) {
+	e, md := setup(8)
+	s := NewSloppy(md, 0)
+	var got int64
+	for c := 0; c < 8; c++ {
+		e.Spawn(c, "p", 0, func(p *sim.Proc) {
+			s.Acquire(p, 3)
+			s.Release(p, 1)
+		})
+	}
+	e.Run()
+	// Reconcile from a fresh proc against the same memory model.
+	eR := sim.NewEngine(md.Machine(), 3)
+	eR.Spawn(0, "reconciler", 0, func(p *sim.Proc) {
+		got = s.Reconcile(p)
+	})
+	eR.Run()
+	if got != 16 { // 8 cores x (3 acquired - 1 released)
+		t.Errorf("reconciled value = %d, want 16", got)
+	}
+	if got != s.InUse() {
+		t.Errorf("reconcile %d != in-use %d", got, s.InUse())
+	}
+}
+
+func TestSloppyMostOpsAreLocalInSteadyState(t *testing.T) {
+	e, md := setup(48)
+	s := NewSloppy(md, 0)
+	for c := 0; c < 48; c++ {
+		e.Spawn(c, "p", 0, func(p *sim.Proc) {
+			// Warm up the local pool, then churn acquire/release.
+			for i := 0; i < 200; i++ {
+				s.Acquire(p, 1)
+				p.Advance(50)
+				s.Release(p, 1)
+			}
+		})
+	}
+	e.Run()
+	if s.CentralOps()*20 > s.LocalOps() {
+		t.Errorf("central ops %d vs local %d; steady-state churn should be core-local",
+			s.CentralOps(), s.LocalOps())
+	}
+}
+
+func TestSloppyScalesBetterThanShared(t *testing.T) {
+	// The headline property: per-op cost of a shared counter grows with
+	// core count; a sloppy counter's stays near-flat.
+	perOp := func(ctr Counter, cores int) float64 {
+		m := topo.New(cores)
+		e := sim.NewEngine(m, 1)
+		const ops = 200
+		for c := 0; c < cores; c++ {
+			e.Spawn(c, "p", 0, func(p *sim.Proc) {
+				for i := 0; i < ops; i++ {
+					ctr.Acquire(p, 1)
+					ctr.Release(p, 1)
+				}
+			})
+		}
+		e.Run()
+		return float64(e.Now()) / float64(ops)
+	}
+
+	mShared := mem.NewModel(topo.New(48))
+	mSloppy := mem.NewModel(topo.New(48))
+	shared48 := perOp(NewShared(mShared, 0), 48)
+	sloppy48 := perOp(NewSloppy(mSloppy, 0), 48)
+	if shared48 < 5*sloppy48 {
+		t.Errorf("at 48 cores shared counter wall-time/op = %.0f, sloppy = %.0f; want shared >> sloppy",
+			shared48, sloppy48)
+	}
+}
+
+func TestSloppyThresholdBoundsSpares(t *testing.T) {
+	e, md := setup(4)
+	s := NewSloppy(md, 0)
+	s.Threshold = 4
+	for c := 0; c < 4; c++ {
+		e.Spawn(c, "p", 0, func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				s.Acquire(p, 1)
+				s.Release(p, 1)
+			}
+		})
+	}
+	e.Run()
+	for c, v := range s.spares {
+		if v > s.Threshold {
+			t.Errorf("core %d spare pool %d exceeds threshold %d", c, v, s.Threshold)
+		}
+	}
+	if err := s.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSloppyOverReleasePanics(t *testing.T) {
+	e, md := setup(1)
+	s := NewSloppy(md, 0)
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-release did not panic")
+			}
+		}()
+		s.Release(p, 1)
+	})
+	e.Run()
+}
+
+func TestSloppyBatchedAcquire(t *testing.T) {
+	e, md := setup(2)
+	s := NewSloppy(md, 0)
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		s.Acquire(p, 5)
+		if err := s.Check(); err != nil {
+			t.Error(err)
+		}
+		s.Release(p, 5)
+		if err := s.Check(); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if s.InUse() != 0 {
+		t.Errorf("in-use after batch = %d, want 0", s.InUse())
+	}
+}

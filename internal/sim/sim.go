@@ -1,0 +1,361 @@
+// Package sim is a deterministic discrete-event simulation engine for
+// multicore machine models.
+//
+// Simulated threads of execution ("procs") run as real goroutines, but only
+// one proc executes at a time: the engine always resumes the runnable proc
+// with the smallest (virtual time, sequence) key, so a run is a total order
+// and is bit-for-bit reproducible. Procs interact with virtual time through
+// Advance (busy CPU cycles, which occupy their core), Idle (waiting without
+// using the core), Block/Wake (for locks and queues), and Now.
+//
+// Virtual time is measured in CPU cycles of the modeled 2.4 GHz machine
+// (see internal/topo).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// procState tracks where a proc is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated thread of execution pinned to a core. All methods must
+// be called only from within the proc's own body function, except where
+// noted (Wake is called by other procs; Core/Name/Done are safe anywhere
+// once the engine has stopped).
+type Proc struct {
+	// ID is a unique, monotonically assigned identifier.
+	ID int
+	// Name is a human-readable label used in deadlock reports.
+	Name string
+
+	core   int
+	eng    *Engine
+	time   int64
+	state  procState
+	resume chan int64 // engine -> proc: your new local time; run
+	seq    uint64     // tie-break key, refreshed on each enqueue
+
+	user, sys int64 // accumulated user/system busy cycles
+
+	body func(*Proc)
+}
+
+// Engine owns the virtual clock, the runnable queue, and per-core occupancy.
+type Engine struct {
+	// Machine is the hardware configuration being simulated.
+	Machine *topo.Machine
+	// Rand is the engine-wide deterministic PRNG.
+	Rand *xrand.Rand
+
+	procs    []*Proc
+	runnable procHeap
+	coreFree []int64 // cycle at which each core next becomes free
+	yield    chan yieldMsg
+	seq      uint64
+	running  bool
+	live     int   // procs not yet done
+	now      int64 // time of the most recently dispatched proc
+
+	userByCore []int64
+	sysByCore  []int64
+}
+
+type yieldMsg struct {
+	p    *Proc
+	kind yieldKind
+}
+
+type yieldKind int
+
+const (
+	yieldReady yieldKind = iota // requeue me at my (updated) time
+	yieldBlock                  // park me until Wake
+	yieldDone                   // I have exited
+)
+
+// NewEngine returns an engine for the given machine with a deterministic
+// PRNG seed.
+func NewEngine(m *topo.Machine, seed uint64) *Engine {
+	return &Engine{
+		Machine:    m,
+		Rand:       xrand.New(seed),
+		coreFree:   make([]int64, m.NCores),
+		yield:      make(chan yieldMsg),
+		userByCore: make([]int64, m.NCores),
+		sysByCore:  make([]int64, m.NCores),
+	}
+}
+
+// Spawn creates a proc pinned to the given core, starting at the given
+// virtual time, with the given body. It may be called before Run or from
+// inside a running proc (e.g. fork); in the latter case the child's start
+// time should be >= the parent's current time to preserve causality.
+func (e *Engine) Spawn(core int, name string, start int64, body func(*Proc)) *Proc {
+	if core < 0 || core >= e.Machine.NCores {
+		panic(fmt.Sprintf("sim: spawn on core %d of %d", core, e.Machine.NCores))
+	}
+	p := &Proc{
+		ID:     len(e.procs),
+		Name:   name,
+		core:   core,
+		eng:    e,
+		time:   start,
+		state:  stateNew,
+		resume: make(chan int64),
+		body:   body,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.enqueue(p)
+	return p
+}
+
+func (e *Engine) enqueue(p *Proc) {
+	e.seq++
+	p.seq = e.seq
+	if p.state != stateNew {
+		p.state = stateRunnable
+	}
+	heap.Push(&e.runnable, p)
+}
+
+// Run executes the simulation until every proc has exited. It panics with a
+// description of the waiters if all remaining procs are blocked (deadlock),
+// since that is always a bug in the model.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.live > 0 {
+		if e.runnable.Len() == 0 {
+			panic("sim: deadlock: " + e.blockedReport())
+		}
+		p := heap.Pop(&e.runnable).(*Proc)
+		e.now = p.time
+		if p.state == stateNew {
+			p.state = stateRunning
+			go func(p *Proc) {
+				t := <-p.resume
+				p.time = t
+				p.body(p)
+				p.yieldTo(yieldDone)
+			}(p)
+		} else {
+			p.state = stateRunning
+		}
+		p.resume <- p.time
+		msg := <-e.yield
+		switch msg.kind {
+		case yieldReady:
+			e.enqueue(msg.p)
+		case yieldBlock:
+			msg.p.state = stateBlocked
+		case yieldDone:
+			msg.p.state = stateDone
+			e.live--
+			// Account the proc's busy time to its core.
+			e.userByCore[msg.p.core] += msg.p.user
+			e.sysByCore[msg.p.core] += msg.p.sys
+			msg.p.user, msg.p.sys = 0, 0
+		}
+	}
+}
+
+func (e *Engine) blockedReport() string {
+	var names []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			names = append(names, fmt.Sprintf("%s(core %d, t=%d)", p.Name, p.core, p.time))
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 8 {
+		names = append(names[:8], fmt.Sprintf("... and %d more", len(names)-8))
+	}
+	return fmt.Sprint(names)
+}
+
+// Now returns the virtual time of the most recently dispatched proc. It is
+// mainly useful in tests and from within procs (where it equals p.Now()).
+func (e *Engine) Now() int64 { return e.now }
+
+// UserCycles returns the total user-mode busy cycles charged on a core.
+func (e *Engine) UserCycles(core int) int64 { return e.userByCore[core] }
+
+// SysCycles returns the total system-mode busy cycles charged on a core.
+func (e *Engine) SysCycles(core int) int64 { return e.sysByCore[core] }
+
+// TotalUserCycles sums user cycles over all cores.
+func (e *Engine) TotalUserCycles() int64 { return sum(e.userByCore) }
+
+// TotalSysCycles sums system cycles over all cores.
+func (e *Engine) TotalSysCycles() int64 { return sum(e.sysByCore) }
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// ---- Proc methods (call only from the proc's own goroutine) ----
+
+func (p *Proc) yieldTo(kind yieldKind) {
+	p.eng.yield <- yieldMsg{p: p, kind: kind}
+	if kind == yieldDone {
+		return
+	}
+	p.time = <-p.resume
+}
+
+// Now returns the proc's current virtual time in cycles.
+func (p *Proc) Now() int64 { return p.time }
+
+// Core returns the core this proc is pinned to.
+func (p *Proc) Core() int { return p.core }
+
+// Chip returns the chip (NUMA node) this proc's core is on.
+func (p *Proc) Chip() int { return p.eng.Machine.Chip(p.core) }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Advance charges `cycles` of busy CPU time. The core is a serial resource:
+// if another proc has reserved it past this proc's current time, the proc
+// first waits for the core. The charged cycles count as system time; use
+// AdvanceUser for user-mode work. Negative cycles panic.
+func (p *Proc) Advance(cycles int64) {
+	p.advance(cycles, &p.sys)
+}
+
+// AdvanceUser charges busy cycles accounted as user-mode time.
+func (p *Proc) AdvanceUser(cycles int64) {
+	p.advance(cycles, &p.user)
+}
+
+func (p *Proc) advance(cycles int64, acct *int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d by %s", cycles, p.Name))
+	}
+	if cycles == 0 {
+		return
+	}
+	free := p.eng.coreFree[p.core]
+	start := p.time
+	if free > start {
+		start = free
+	}
+	end := start + cycles
+	p.eng.coreFree[p.core] = end
+	p.time = end
+	*acct += cycles
+	p.yieldTo(yieldReady)
+}
+
+// Idle moves the proc's clock forward without occupying its core (e.g. a
+// client thinking, or a process sleeping in select).
+func (p *Proc) Idle(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: negative idle %d by %s", cycles, p.Name))
+	}
+	p.time += cycles
+	p.yieldTo(yieldReady)
+}
+
+// IdleUntil moves the proc's clock forward to at least t without occupying
+// its core.
+func (p *Proc) IdleUntil(t int64) {
+	if t > p.time {
+		p.time = t
+	}
+	p.yieldTo(yieldReady)
+}
+
+// Block parks the proc until another proc calls Wake on it. It returns the
+// proc's (updated) time at wake.
+func (p *Proc) Block() int64 {
+	p.yieldTo(yieldBlock)
+	return p.time
+}
+
+// Wake makes a blocked proc runnable at time >= at. It must be called from
+// a *different*, currently running proc (or before Run starts). Waking a
+// proc that is not blocked panics: the model's lock and queue code must
+// never double-wake.
+func (p *Proc) Wake(at int64) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: wake of non-blocked proc %s", p.Name))
+	}
+	if at > p.time {
+		p.time = at
+	}
+	p.eng.enqueue(p)
+}
+
+// AccountSys adds cycles to the proc's system-time accounting without
+// advancing its clock or occupying its core. Lock implementations use it to
+// attribute busy-wait time that already elapsed while the proc was parked:
+// the spinning core did no useful work, so the time must show up as system
+// time in CPU-time breakdowns.
+func (p *Proc) AccountSys(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: negative AccountSys %d by %s", cycles, p.Name))
+	}
+	p.sys += cycles
+}
+
+// AccountUser adds cycles to the proc's user-time accounting without
+// advancing its clock, for analytically modeled user-mode stalls (e.g.
+// cache-capacity misses folded into a phase cost).
+func (p *Proc) AccountUser(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: negative AccountUser %d by %s", cycles, p.Name))
+	}
+	p.user += cycles
+}
+
+// UserTime returns the user-mode cycles charged so far by this proc.
+func (p *Proc) UserTime() int64 { return p.user }
+
+// SysTime returns the system-mode cycles charged so far by this proc.
+func (p *Proc) SysTime() int64 { return p.sys }
+
+// ---- heap plumbing ----
+
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h procHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *procHeap) Push(x interface{}) { *h = append(*h, x.(*Proc)) }
+func (h *procHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestIdleUntilPast(t *testing.T) {
+	e := newTestEngine(1)
+	e.Spawn(0, "p", 0, func(p *Proc) {
+		p.Advance(100)
+		p.IdleUntil(50) // in the past: no-op
+		if p.Now() != 100 {
+			t.Errorf("IdleUntil(past) moved clock to %d", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestAccountingOnlyChargesDoNotAdvance(t *testing.T) {
+	e := newTestEngine(1)
+	e.Spawn(0, "p", 0, func(p *Proc) {
+		p.AccountSys(1000)
+		p.AccountUser(500)
+		if p.Now() != 0 {
+			t.Errorf("Account* advanced the clock to %d", p.Now())
+		}
+	})
+	e.Run()
+	if e.SysCycles(0) != 1000 || e.UserCycles(0) != 500 {
+		t.Errorf("accounting = %d sys, %d user; want 1000, 500",
+			e.SysCycles(0), e.UserCycles(0))
+	}
+}
+
+func TestNegativeAccountPanics(t *testing.T) {
+	e := newTestEngine(1)
+	e.Spawn(0, "p", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative AccountSys did not panic")
+			}
+		}()
+		p.AccountSys(-5)
+	})
+	e.Run()
+}
+
+func TestSpawnOutOfRangePanics(t *testing.T) {
+	e := newTestEngine(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("spawn on invalid core did not panic")
+		}
+	}()
+	e.Spawn(2, "p", 0, func(p *Proc) {})
+}
+
+func TestChipMapping(t *testing.T) {
+	e := NewEngine(topo.New(48), 1)
+	var chips []int
+	for _, core := range []int{0, 5, 6, 47} {
+		core := core
+		e.Spawn(core, "p", 0, func(p *Proc) {
+			chips = append(chips, p.Chip())
+		})
+	}
+	e.Run()
+	want := []int{0, 0, 1, 7}
+	for i := range want {
+		if chips[i] != want[i] {
+			t.Errorf("chip for spawn %d = %d, want %d", i, chips[i], want[i])
+		}
+	}
+}
+
+func TestManyProcsPerCoreSerialize(t *testing.T) {
+	// 10 procs on one core, each burning 100 cycles, must take 1000
+	// cycles of wall time in total.
+	e := newTestEngine(1)
+	var latest int64
+	for i := 0; i < 10; i++ {
+		e.Spawn(0, "p", 0, func(p *Proc) {
+			p.Advance(100)
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	e.Run()
+	if latest != 1000 {
+		t.Errorf("10 procs x 100 cycles on one core finished at %d, want 1000", latest)
+	}
+}
+
+func TestEngineTotals(t *testing.T) {
+	e := newTestEngine(2)
+	e.Spawn(0, "a", 0, func(p *Proc) { p.AdvanceUser(10); p.Advance(20) })
+	e.Spawn(1, "b", 0, func(p *Proc) { p.AdvanceUser(30); p.Advance(40) })
+	e.Run()
+	if e.TotalUserCycles() != 40 || e.TotalSysCycles() != 60 {
+		t.Errorf("totals = %d user, %d sys; want 40, 60",
+			e.TotalUserCycles(), e.TotalSysCycles())
+	}
+}

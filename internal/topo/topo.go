@@ -1,0 +1,167 @@
+// Package topo models the hardware topology of the 48-core machine used in
+// the paper: a Tyan Thunder S4985 board with eight 2.4 GHz 6-core AMD
+// Opteron 8431 chips, each chip with its own DRAM node, connected by a
+// HyperTransport interconnect (§5.1).
+//
+// All latencies are in CPU cycles at 2.4 GHz and are taken directly from the
+// paper: L1 3 cycles, L2 14 cycles, on-chip shared L3 28 cycles, local DRAM
+// 122 cycles, and up to 503 cycles for DRAM of the farthest chip.
+package topo
+
+import "fmt"
+
+// Machine geometry constants for the paper's evaluation host.
+const (
+	// MaxCores is the total number of cores on the machine.
+	MaxCores = 48
+	// CoresPerChip is the number of cores on one Opteron 8431 chip.
+	CoresPerChip = 6
+	// Chips is the number of processor chips (= NUMA nodes).
+	Chips = MaxCores / CoresPerChip
+	// ClockHz is the core clock frequency (2.4 GHz).
+	ClockHz = 2_400_000_000
+	// CacheLineBytes is the coherence granularity.
+	CacheLineBytes = 64
+)
+
+// Cache and memory latencies in cycles (§5.1).
+const (
+	LatL1 = 3
+	LatL2 = 14
+	LatL3 = 28
+	// LatDRAMLocal is the latency for a core to read its local DRAM.
+	LatDRAMLocal = 122
+	// LatDRAMFar is the latency to read DRAM of the farthest chip.
+	LatDRAMFar = 503
+)
+
+// Capacity parameters.
+const (
+	// L3Bytes is the per-chip shared L3 capacity usable by applications.
+	// The chip has 6 MB of L3 of which 1 MB is consumed by the HT Assist
+	// probe filter (§5.1), leaving 5 MB.
+	L3Bytes = 5 << 20
+	// L2Bytes is the per-core private L2 capacity.
+	L2Bytes = 512 << 10
+	// DRAMPerChipBytes is the local off-chip DRAM per chip (8 GB).
+	DRAMPerChipBytes = 8 << 30
+	// DRAMMaxBytesPerSec is the maximum aggregate DRAM throughput
+	// achievable, measured by the paper's microbenchmarks (§5.8):
+	// 51.5 GByte/second.
+	DRAMMaxBytesPerSec = 51.5 * (1 << 30)
+)
+
+// Machine describes an active machine configuration: the first NCores cores
+// of the 48-core host are enabled, the rest are disabled (§5.1: "Experiments
+// that use fewer than 48 cores run with the other cores entirely disabled").
+type Machine struct {
+	// NCores is the number of enabled cores (1..48).
+	NCores int
+	// RoundRobin selects the core->chip placement policy. When false,
+	// enabled cores fill chips in order ("packed", the default used by
+	// most experiments). When true, enabled cores are spread evenly
+	// across chips, as in the pedsort "Procs RR" configuration (§5.7).
+	RoundRobin bool
+}
+
+// New returns a machine with n enabled cores packed onto the fewest chips.
+// It panics if n is out of range; configurations are static test inputs, so
+// an invalid count is a programming error, not a runtime condition.
+func New(n int) *Machine {
+	if n < 1 || n > MaxCores {
+		panic(fmt.Sprintf("topo: core count %d out of range [1,%d]", n, MaxCores))
+	}
+	return &Machine{NCores: n}
+}
+
+// NewRR returns a machine with n enabled cores spread round-robin across all
+// eight chips, the placement the paper uses for pedsort and Metis.
+func NewRR(n int) *Machine {
+	m := New(n)
+	m.RoundRobin = true
+	return m
+}
+
+// Chip returns the chip (NUMA node) that enabled core c sits on.
+func (m *Machine) Chip(c int) int {
+	if c < 0 || c >= m.NCores {
+		panic(fmt.Sprintf("topo: core %d out of range [0,%d)", c, m.NCores))
+	}
+	if m.RoundRobin {
+		return c % Chips
+	}
+	return c / CoresPerChip
+}
+
+// ChipsInUse returns the number of chips with at least one enabled core.
+func (m *Machine) ChipsInUse() int {
+	if m.RoundRobin {
+		if m.NCores >= Chips {
+			return Chips
+		}
+		return m.NCores
+	}
+	return (m.NCores + CoresPerChip - 1) / CoresPerChip
+}
+
+// CoresOnChip returns how many enabled cores sit on the given chip.
+func (m *Machine) CoresOnChip(chip int) int {
+	n := 0
+	for c := 0; c < m.NCores; c++ {
+		if m.Chip(c) == chip {
+			n++
+		}
+	}
+	return n
+}
+
+// hopDistance returns the number of HyperTransport hops between two chips.
+// The eight chips form a twisted ladder; we approximate the distance with a
+// ring metric, which reproduces the paper's observed spread of DRAM
+// latencies (122 local to 503 farthest, i.e. up to 4 hops away).
+func hopDistance(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > Chips/2 {
+		d = Chips - d
+	}
+	return d
+}
+
+// DRAMLatency returns the cycle cost for a core on chip `from` to read a
+// line homed in the DRAM of chip `home`. Latency grows linearly with hop
+// count from the local 122 cycles to the 4-hop 503 cycles.
+func DRAMLatency(from, home int) int64 {
+	hops := hopDistance(from, home)
+	maxHops := Chips / 2
+	return LatDRAMLocal + int64(hops)*(LatDRAMFar-LatDRAMLocal)/int64(maxHops)
+}
+
+// RemoteCacheLatency returns the cycle cost for a core on chip `from` to
+// fetch a line that is dirty in a cache on chip `owner`. The paper notes
+// (§4.1) these operations "take about the same time as loading data from
+// off-chip RAM (hundreds of cycles)"; we charge the DRAM latency for the
+// owner's chip, with a floor of the L3 latency for same-chip transfers.
+func RemoteCacheLatency(from, owner int) int64 {
+	if from == owner {
+		return LatL3
+	}
+	return DRAMLatency(from, owner)
+}
+
+// CyclesPerSec returns the clock rate as a float for time conversions.
+func CyclesPerSec() float64 { return float64(ClockHz) }
+
+// CyclesToSec converts a cycle count to seconds of virtual time.
+func CyclesToSec(cycles int64) float64 { return float64(cycles) / float64(ClockHz) }
+
+// SecToCycles converts seconds to cycles.
+func SecToCycles(s float64) int64 { return int64(s * float64(ClockHz)) }
+
+// MicrosToCycles converts microseconds to cycles (2.4 cycles per ns).
+func MicrosToCycles(us float64) int64 { return int64(us * float64(ClockHz) / 1e6) }
+
+// CyclesToMicros converts cycles to microseconds.
+func CyclesToMicros(cycles int64) float64 { return float64(cycles) * 1e6 / float64(ClockHz) }

@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, -1, 49, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestPackedPlacement(t *testing.T) {
+	m := New(48)
+	if got := m.Chip(0); got != 0 {
+		t.Errorf("Chip(0) = %d, want 0", got)
+	}
+	if got := m.Chip(5); got != 0 {
+		t.Errorf("Chip(5) = %d, want 0", got)
+	}
+	if got := m.Chip(6); got != 1 {
+		t.Errorf("Chip(6) = %d, want 1", got)
+	}
+	if got := m.Chip(47); got != 7 {
+		t.Errorf("Chip(47) = %d, want 7", got)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	m := NewRR(16)
+	// Cores 0..7 land on chips 0..7, then wrap.
+	for c := 0; c < 16; c++ {
+		if got, want := m.Chip(c), c%Chips; got != want {
+			t.Errorf("RR Chip(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if got := m.ChipsInUse(); got != 8 {
+		t.Errorf("RR ChipsInUse = %d, want 8", got)
+	}
+	if got := NewRR(3).ChipsInUse(); got != 3 {
+		t.Errorf("RR(3) ChipsInUse = %d, want 3", got)
+	}
+}
+
+func TestChipsInUsePacked(t *testing.T) {
+	cases := []struct{ cores, chips int }{
+		{1, 1}, {6, 1}, {7, 2}, {12, 2}, {13, 3}, {48, 8},
+	}
+	for _, c := range cases {
+		if got := New(c.cores).ChipsInUse(); got != c.chips {
+			t.Errorf("New(%d).ChipsInUse() = %d, want %d", c.cores, got, c.chips)
+		}
+	}
+}
+
+func TestCoresOnChipSumsToNCores(t *testing.T) {
+	check := func(n int, rr bool) bool {
+		n = 1 + (abs(n) % MaxCores)
+		m := New(n)
+		m.RoundRobin = rr
+		total := 0
+		for chip := 0; chip < Chips; chip++ {
+			total += m.CoresOnChip(chip)
+		}
+		return total == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMLatencyEndpoints(t *testing.T) {
+	if got := DRAMLatency(0, 0); got != LatDRAMLocal {
+		t.Errorf("local DRAM latency = %d, want %d", got, LatDRAMLocal)
+	}
+	// Farthest chip on an 8-ring is 4 hops.
+	if got := DRAMLatency(0, 4); got != LatDRAMFar {
+		t.Errorf("far DRAM latency = %d, want %d", got, LatDRAMFar)
+	}
+}
+
+func TestDRAMLatencySymmetricAndMonotonic(t *testing.T) {
+	check := func(a, b int) bool {
+		a, b = abs(a)%Chips, abs(b)%Chips
+		l := DRAMLatency(a, b)
+		if l != DRAMLatency(b, a) {
+			return false
+		}
+		return l >= LatDRAMLocal && l <= LatDRAMFar
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoteCacheLatency(t *testing.T) {
+	if got := RemoteCacheLatency(2, 2); got != LatL3 {
+		t.Errorf("same-chip remote cache latency = %d, want L3 %d", got, LatL3)
+	}
+	if got := RemoteCacheLatency(0, 4); got != LatDRAMFar {
+		t.Errorf("cross-machine dirty fetch = %d, want %d", got, LatDRAMFar)
+	}
+}
+
+func TestTimeConversionsRoundTrip(t *testing.T) {
+	if got := SecToCycles(1.0); got != ClockHz {
+		t.Errorf("SecToCycles(1) = %d, want %d", got, ClockHz)
+	}
+	if got := MicrosToCycles(1.0); got != 2400 {
+		t.Errorf("MicrosToCycles(1) = %d, want 2400", got)
+	}
+	if got := CyclesToMicros(2400); got != 1.0 {
+		t.Errorf("CyclesToMicros(2400) = %f, want 1", got)
+	}
+	check := func(us uint16) bool {
+		c := MicrosToCycles(float64(us))
+		back := CyclesToMicros(c)
+		diff := back - float64(us)
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,444 @@
+// Package vfs models the Linux VFS paths the paper analyzes: directory
+// entry (dentry) caching and reference counting, path name resolution
+// through the mount table, per-super-block open-file lists, inode mutexes
+// (lseek, directory creates), and the global inode/dcache list locks.
+//
+// Each object charges its cache-line traffic through mem.Model and its lock
+// waits through slock, so the stock configuration reproduces the paper's
+// bottlenecks and the PK configuration removes them:
+//
+//	Figure 1 rows covered here:
+//	  - dentry reference counting        -> Config.SloppyDentryRef
+//	  - vfsmount reference counting      -> Config.SloppyVfsmountRef
+//	  - dentry spin locks (dlookup)      -> Config.LockFreeDlookup
+//	  - mount point table spin lock      -> Config.PerCoreMountCache
+//	  - open-file list                   -> Config.PerCoreOpenList
+//	  - inode lists                      -> Config.InodeListAvoidLock
+//	  - dcache lists                     -> Config.DcacheListAvoidLock
+//	  - per-inode mutex in lseek         -> Config.AtomicLseek
+package vfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/mm"
+	"repro/internal/rcu"
+	"repro/internal/scount"
+	"repro/internal/sim"
+	"repro/internal/slock"
+)
+
+// Config selects stock vs PK behavior per VFS fix.
+type Config struct {
+	SloppyDentryRef     bool
+	SloppyVfsmountRef   bool
+	LockFreeDlookup     bool
+	PerCoreMountCache   bool
+	PerCoreOpenList     bool
+	InodeListAvoidLock  bool
+	DcacheListAvoidLock bool
+	AtomicLseek         bool
+
+	// ScalableMountLock replaces the mount table's ticket spin lock with
+	// an MCS queue lock. Not one of the paper's fixes: it exists for the
+	// "scalable-locks" experiment, which shows that a better lock alone
+	// does not fix the vfsmount bottleneck because the table entry and
+	// its reference count still serialize.
+	ScalableMountLock bool
+}
+
+// Fixed work constants (cycles).
+const (
+	syscallEntry = 150  // trap + entry/exit bookkeeping per syscall
+	hashWork     = 50   // per-component name hash + bucket probe
+	copyPerByte  = 16   // bytes copied per cycle (rep movs-ish)
+	statWork     = 100  // filling a stat buffer
+	createWork   = 5000 // inode init, dirent insertion, timestamps (~2 us)
+	unlinkWork   = 2500 // directory entry removal + inode teardown
+)
+
+// FS is a mounted in-memory (tmpfs-like) file system plus the global VFS
+// state: the dcache, the mount table, and the global list locks.
+type FS struct {
+	md    *mem.Model
+	cfg   Config
+	alloc *mm.Allocator
+
+	root   *Dentry
+	mounts *MountTable
+	sb     *SuperBlock
+
+	// inodeLock is the global inode_lock protecting the inode lists.
+	inodeLock *slock.SpinLock
+	// dcacheLock is the global dcache_lock protecting dentry LRU lists.
+	dcacheLock *slock.SpinLock
+	// rcu protects the dcache hash chains: lookups walk them inside
+	// read-side sections (both kernels — the dcache has been RCU-based
+	// since 2.4 [40]); unlinks defer the dentry free past a grace period.
+	rcu *rcu.RCU
+
+	nextIno int64
+}
+
+// New creates an empty file system. Global structures are homed on chip 0,
+// where the boot CPU would have allocated them.
+func New(md *mem.Model, alloc *mm.Allocator, cfg Config) *FS {
+	fs := &FS{
+		md:         md,
+		cfg:        cfg,
+		alloc:      alloc,
+		inodeLock:  slock.NewSpinLock(md, "inode_lock", 0),
+		dcacheLock: slock.NewSpinLock(md, "dcache_lock", 0),
+	}
+	fs.mounts = newMountTable(md, cfg)
+	fs.sb = newSuperBlock(md, cfg)
+	fs.rcu = rcu.New(md)
+	fs.root = fs.newDentrySetup("/", nil, true)
+	return fs
+}
+
+// RCU exposes the dcache's RCU domain (statistics and tests).
+func (fs *FS) RCU() *rcu.RCU { return fs.rcu }
+
+// Config returns the active configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// MountTable exposes the mount table (for statistics).
+func (fs *FS) MountTable() *MountTable { return fs.mounts }
+
+// SuperBlock exposes the super block (for statistics).
+func (fs *FS) SuperBlock() *SuperBlock { return fs.sb }
+
+// InodeLock exposes the global inode list lock (for statistics).
+func (fs *FS) InodeLock() *slock.SpinLock { return fs.inodeLock }
+
+// DcacheLock exposes the global dentry list lock (for statistics).
+func (fs *FS) DcacheLock() *slock.SpinLock { return fs.dcacheLock }
+
+// ---- Setup-time (cost-free) tree construction ----
+
+// newInodeSetup builds an inode without charging simulation time.
+func (fs *FS) newInodeSetup(isDir bool, homeChip int) *Inode {
+	fs.nextIno++
+	ino := &Inode{
+		Ino:      fs.nextIno,
+		isDir:    isDir,
+		sizeLine: fs.md.Alloc(homeChip),
+		mu:       slock.NewMutex(fs.md, "i_mutex", homeChip),
+	}
+	return ino
+}
+
+// newDentrySetup builds a dentry without charging simulation time.
+func (fs *FS) newDentrySetup(name string, parent *Dentry, isDir bool) *Dentry {
+	const homeChip = 0
+	d := &Dentry{
+		Name:     name,
+		parent:   parent,
+		children: map[string]*Dentry{},
+		inode:    fs.newInodeSetup(isDir, homeChip),
+	}
+	if fs.cfg.SloppyDentryRef || fs.cfg.LockFreeDlookup {
+		// PK layout: fields, lock, and refcount each on their own line.
+		d.fieldsLine = fs.md.Alloc(homeChip)
+		d.lock = slock.NewSpinLock(fs.md, "d_lock:"+name, homeChip)
+	} else {
+		// Stock layout: one hot line holds d_lock, d_count, and the
+		// fields the lookup compares.
+		line := fs.md.Alloc(homeChip)
+		d.fieldsLine = line
+		d.lock = slock.NewSpinLockAt(fs.md, "d_lock:"+name, line)
+	}
+	if fs.cfg.SloppyDentryRef {
+		d.ref = scount.NewSloppy(fs.md, homeChip)
+	} else {
+		d.ref = scount.NewSharedAt(fs.md, d.fieldsLine)
+	}
+	if fs.cfg.LockFreeDlookup {
+		d.gen = slock.NewGen(fs.md, homeChip)
+	}
+	if parent != nil {
+		parent.children[name] = d
+	}
+	return d
+}
+
+// MustMkdirAll creates a directory path at setup time (no cost).
+func (fs *FS) MustMkdirAll(path string) *Dentry {
+	d := fs.root
+	for _, comp := range splitPath(path) {
+		child, ok := d.children[comp]
+		if !ok {
+			child = fs.newDentrySetup(comp, d, true)
+		}
+		d = child
+	}
+	return d
+}
+
+// MustCreateFile creates a file with the given size at setup time.
+func (fs *FS) MustCreateFile(path string, size int64) *Dentry {
+	dir, name := splitDir(path)
+	parent := fs.MustMkdirAll(dir)
+	if _, ok := parent.children[name]; ok {
+		panic("vfs: setup file exists: " + path)
+	}
+	d := fs.newDentrySetup(name, parent, false)
+	d.inode.Size = size
+	return d
+}
+
+func splitPath(path string) []string {
+	var comps []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" {
+			comps = append(comps, c)
+		}
+	}
+	return comps
+}
+
+func splitDir(path string) (dir, name string) {
+	i := strings.LastIndex(path, "/")
+	if i < 0 {
+		return "", path
+	}
+	return path[:i], path[i+1:]
+}
+
+// ---- Run-time path resolution ----
+
+// Walk resolves a path, charging mount-table access, per-component dcache
+// lookups (lock-free or locked compare), and reference counting. If
+// holdFinal is true the caller receives a reference to the final dentry and
+// must release it with Put. Walk panics on a missing path: workloads
+// resolve only paths they created, so ENOENT is a model bug.
+func (fs *FS) Walk(p *sim.Proc, path string, holdFinal bool) *Dentry {
+	p.Advance(syscallEntry)
+	fs.mounts.Get(p)
+	d := fs.root
+	fs.dgetCompare(p, d)
+	for _, comp := range splitPath(path) {
+		child, ok := d.children[comp]
+		if !ok {
+			panic("vfs: walk of missing path " + path)
+		}
+		// follow_mount: every component crossing consults the mount
+		// table and touches the vfsmount reference (this is why Exim
+		// "causes the kernel to access the vfsmount table dozens of
+		// times for each message", §5.2).
+		fs.mounts.Get(p)
+		fs.mounts.Put(p)
+		fs.dgetCompare(p, child)
+		d.ref.Release(p, 1)
+		d = child
+	}
+	if !holdFinal {
+		d.ref.Release(p, 1)
+	}
+	fs.mounts.Put(p)
+	return d
+}
+
+// dgetCompare performs the dcache lookup step for one component: an
+// RCU-protected hash probe, field comparison (lock-free with generation
+// counters in PK, under the per-dentry spin lock in stock), and a
+// reference count acquire. The RCU section is why the *walk* itself scales
+// on both kernels; the stock bottlenecks are the per-dentry lock and the
+// refcount, which live outside RCU's protection (§4.4).
+func (fs *FS) dgetCompare(p *sim.Proc, d *Dentry) {
+	fs.rcu.ReadLock(p)
+	p.Advance(hashWork)
+	if fs.cfg.LockFreeDlookup && d.gen != nil {
+		if d.gen.TryRead(p, []mem.Line{d.fieldsLine}) {
+			d.ref.Acquire(p, 1)
+			fs.rcu.ReadUnlock(p)
+			return
+		}
+	}
+	d.lock.Acquire(p)
+	p.Advance(fs.md.Read(p.Core(), d.fieldsLine, p.Now()))
+	d.lock.Release(p)
+	d.ref.Acquire(p, 1)
+	fs.rcu.ReadUnlock(p)
+}
+
+// Put releases a dentry reference obtained from Walk/Open/Create.
+func (fs *FS) Put(p *sim.Proc, d *Dentry) {
+	d.ref.Release(p, 1)
+}
+
+// ---- File operations ----
+
+// File is an open file description.
+type File struct {
+	Dentry *Dentry
+	Inode  *Inode
+
+	openCore int // core whose open-file list holds this file
+}
+
+// Open resolves the path and installs the file on the super block's
+// open-file list.
+func (fs *FS) Open(p *sim.Proc, path string) *File {
+	d := fs.Walk(p, path, true)
+	f := &File{Dentry: d, Inode: d.inode}
+	f.openCore = fs.sb.Add(p)
+	return f
+}
+
+// Close removes the file from the open list and drops the reference.
+func (fs *FS) Close(p *sim.Proc, f *File) {
+	p.Advance(syscallEntry)
+	fs.sb.Remove(p, f.openCore)
+	fs.Put(p, f.Dentry)
+}
+
+// Stat resolves the path and reads inode attributes.
+func (fs *FS) Stat(p *sim.Proc, path string) {
+	d := fs.Walk(p, path, true)
+	p.Advance(fs.md.Read(p.Core(), d.inode.sizeLine, p.Now()) + statWork)
+	fs.Put(p, d)
+}
+
+// Lseek positions the file, reading i_size. The stock kernel takes the
+// inode mutex; PK uses an atomic read (§5.5).
+func (fs *FS) Lseek(p *sim.Proc, f *File) {
+	p.Advance(syscallEntry)
+	if fs.cfg.AtomicLseek {
+		p.Advance(fs.md.Read(p.Core(), f.Inode.sizeLine, p.Now()))
+		return
+	}
+	f.Inode.mu.Acquire(p)
+	p.Advance(fs.md.Read(p.Core(), f.Inode.sizeLine, p.Now()))
+	f.Inode.mu.Release(p)
+}
+
+// Read charges a buffered read of n bytes: lock-free page-cache lookup plus
+// the copy to user space.
+func (fs *FS) Read(p *sim.Proc, f *File, n int64) {
+	p.Advance(syscallEntry)
+	pages := 1 + n/mm.PageBytes
+	p.Advance(pages*hashWork + n/copyPerByte)
+}
+
+// Append writes n bytes at the end of the file under the inode mutex,
+// allocating tmpfs pages as needed.
+func (fs *FS) Append(p *sim.Proc, f *File, n int64) {
+	p.Advance(syscallEntry)
+	f.Inode.mu.Acquire(p)
+	oldPages := (f.Inode.Size + mm.PageBytes - 1) / mm.PageBytes
+	f.Inode.Size += n
+	newPages := (f.Inode.Size + mm.PageBytes - 1) / mm.PageBytes
+	if newPages > oldPages {
+		fs.alloc.AllocPages(p, p.Chip(), newPages-oldPages)
+	}
+	p.Advance(n / copyPerByte)
+	p.Advance(fs.md.Write(p.Core(), f.Inode.sizeLine, p.Now()))
+	f.Inode.mu.Release(p)
+}
+
+// Create makes a new file in the directory at dirPath. The parent
+// directory's i_mutex serializes creates in the same directory — the
+// residual Exim bottleneck (§5.2). The returned file is open.
+func (fs *FS) Create(p *sim.Proc, dirPath, name string) *File {
+	dir := fs.Walk(p, dirPath, true)
+	dir.inode.mu.Acquire(p)
+	if _, exists := dir.children[name]; exists {
+		panic(fmt.Sprintf("vfs: create of existing file %s/%s", dirPath, name))
+	}
+	fs.chargeInodeListLock(p, false)
+	fs.chargeDcacheListLock(p, false)
+	d := fs.newDentrySetup(name, dir, false)
+	if d.gen != nil {
+		d.gen.BeginWrite(p)
+		d.gen.EndWrite(p)
+	}
+	d.ref.Acquire(p, 1) // the returned open file holds a reference
+	p.Advance(createWork)
+	dir.inode.mu.Release(p)
+
+	f := &File{Dentry: d, Inode: d.inode}
+	f.openCore = fs.sb.Add(p)
+	fs.Put(p, dir)
+	return f
+}
+
+// Unlink removes a file. The dentry is destroyed, which requires list
+// maintenance under the global locks and, for sloppy refcounts, an
+// expensive reconciliation to confirm the count is zero (§4.3).
+func (fs *FS) Unlink(p *sim.Proc, dirPath, name string) {
+	dir := fs.Walk(p, dirPath, true)
+	dir.inode.mu.Acquire(p)
+	d, ok := dir.children[name]
+	if !ok {
+		panic(fmt.Sprintf("vfs: unlink of missing file %s/%s", dirPath, name))
+	}
+	delete(dir.children, name)
+	fs.chargeInodeListLock(p, true)
+	fs.chargeDcacheListLock(p, true)
+	if s, isSloppy := d.ref.(*scount.Sloppy); isSloppy {
+		s.Reconcile(p)
+	}
+	// The dentry itself is freed after a grace period so concurrent
+	// RCU-walkers never dereference freed memory.
+	fs.rcu.CallRCU(p)
+	p.Advance(unlinkWork)
+	dir.inode.mu.Release(p)
+	fs.Put(p, dir)
+}
+
+// chargeInodeListLock models the global inode_lock: the stock kernel takes
+// it on every inode create/destroy; PK avoids it except when a list is
+// really modified (destroy).
+func (fs *FS) chargeInodeListLock(p *sim.Proc, destroying bool) {
+	if fs.cfg.InodeListAvoidLock && !destroying {
+		return
+	}
+	fs.inodeLock.Acquire(p)
+	p.Advance(60) // list insert/remove
+	fs.inodeLock.Release(p)
+}
+
+// chargeDcacheListLock models the global dcache_lock, with the same
+// avoid-when-unnecessary PK behavior.
+func (fs *FS) chargeDcacheListLock(p *sim.Proc, destroying bool) {
+	if fs.cfg.DcacheListAvoidLock && !destroying {
+		return
+	}
+	fs.dcacheLock.Acquire(p)
+	p.Advance(60)
+	fs.dcacheLock.Release(p)
+}
+
+// ---- Anonymous (socket) inodes ----
+
+// AnonInode is an inode+dentry pair backing a socket (sockfs). Creating and
+// destroying them stresses the global inode and dcache list locks, which is
+// the "inode lists"/"dcache lists" bottleneck memcached and Apache hit.
+type AnonInode struct {
+	inode *Inode
+}
+
+// CreateAnon allocates a socket-style anonymous inode.
+func (fs *FS) CreateAnon(p *sim.Proc) *AnonInode {
+	fs.chargeInodeListLock(p, false)
+	fs.chargeDcacheListLock(p, false)
+	p.Advance(createWork / 2)
+	return &AnonInode{inode: fs.newInodeSetup(false, p.Chip())}
+}
+
+// ReleaseAnon frees a socket inode. PK defers and batches the list
+// removals, avoiding the global locks on this path too; we model that as
+// skipping the lock (the deferred work is off the critical path).
+func (fs *FS) ReleaseAnon(p *sim.Proc, a *AnonInode) {
+	if !fs.cfg.InodeListAvoidLock {
+		fs.chargeInodeListLock(p, true)
+	}
+	if !fs.cfg.DcacheListAvoidLock {
+		fs.chargeDcacheListLock(p, true)
+	}
+	p.Advance(unlinkWork / 2)
+}

@@ -1,0 +1,92 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	check := func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = 1 - n
+		}
+		n++ // ensure >= 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := New(seed)
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}

@@ -1,0 +1,140 @@
+package mosbench
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/kernel"
+	"repro/internal/topo"
+)
+
+// AppResult is the outcome of one custom application run.
+type AppResult struct {
+	// App names the workload.
+	App string
+	// Cores is the active core count.
+	Cores int
+	// PerCore is throughput per core (ops/sec/core).
+	PerCore float64
+	// Throughput is total ops/sec.
+	Throughput float64
+	// UserMicros and SysMicros are CPU microseconds per operation.
+	UserMicros, SysMicros float64
+	// KernelFraction is the share of busy CPU time spent in the kernel.
+	KernelFraction float64
+}
+
+func toAppResult(r apps.Result) AppResult {
+	return AppResult{
+		App:            r.App,
+		Cores:          r.Cores,
+		PerCore:        r.PerCore(),
+		Throughput:     r.Throughput(),
+		UserMicros:     r.UserMicrosPerOp(),
+		SysMicros:      r.SysMicrosPerOp(),
+		KernelFraction: r.KernelFraction(),
+	}
+}
+
+func kernelFor(pk bool, cores int, rr bool, seed uint64) (*kernel.Kernel, error) {
+	if cores < 1 || cores > topo.MaxCores {
+		return nil, fmt.Errorf("mosbench: cores %d out of range [1,%d]", cores, topo.MaxCores)
+	}
+	cfg := kernel.Stock()
+	if pk {
+		cfg = kernel.PK()
+	}
+	m := topo.New(cores)
+	if rr {
+		m = topo.NewRR(cores)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return kernel.New(m, cfg, seed), nil
+}
+
+// EximConfig customizes a mail-server run.
+type EximConfig struct {
+	// Cores is the active core count (1..48).
+	Cores int
+	// PK selects the patched kernel; false runs stock.
+	PK bool
+	// SpoolDirs is the number of spool directories (paper: 62).
+	SpoolDirs int
+	// MessagesPerCore is the run length (0 = default).
+	MessagesPerCore int
+	// Seed is the deterministic PRNG seed (0 = default).
+	Seed uint64
+}
+
+// RunExim runs the Exim workload with a custom configuration — e.g. to
+// explore spool-directory contention, the paper's residual Exim bottleneck.
+func RunExim(cfg EximConfig) (AppResult, error) {
+	k, err := kernelFor(cfg.PK, cfg.Cores, false, cfg.Seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	opts := apps.DefaultEximOpts()
+	if cfg.SpoolDirs > 0 {
+		opts.SpoolDirs = cfg.SpoolDirs
+	}
+	if cfg.MessagesPerCore > 0 {
+		opts.MessagesPerCore = cfg.MessagesPerCore
+	}
+	return toAppResult(apps.RunExim(k, opts)), nil
+}
+
+// ApacheConfig customizes a web-server run.
+type ApacheConfig struct {
+	Cores int
+	PK    bool
+	// SingleInstance shares one listening socket across cores (the PK
+	// setup); false runs one instance per core (the stock setup).
+	SingleInstance bool
+	// WithNIC includes the IXGBE receive envelope.
+	WithNIC bool
+	// RequestsPerCore is the run length (0 = default).
+	RequestsPerCore int
+	Seed            uint64
+}
+
+// RunApache runs the Apache workload with a custom configuration.
+func RunApache(cfg ApacheConfig) (AppResult, error) {
+	k, err := kernelFor(cfg.PK, cfg.Cores, false, cfg.Seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	opts := apps.DefaultApacheOpts()
+	opts.SingleInstance = cfg.SingleInstance
+	opts.UseNIC = cfg.WithNIC
+	if cfg.RequestsPerCore > 0 {
+		opts.RequestsPerCore = cfg.RequestsPerCore
+	}
+	return toAppResult(apps.RunApache(k, opts)), nil
+}
+
+// MetisConfig customizes a MapReduce run.
+type MetisConfig struct {
+	Cores int
+	PK    bool
+	// SuperPages maps temporary tables with 2 MB pages.
+	SuperPages bool
+	// InputBytes is the input size (0 = default).
+	InputBytes int64
+	Seed       uint64
+}
+
+// RunMetis runs the Metis inverted-index workload.
+func RunMetis(cfg MetisConfig) (AppResult, error) {
+	k, err := kernelFor(cfg.PK, cfg.Cores, true, cfg.Seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	opts := apps.DefaultMetisOpts()
+	opts.SuperPages = cfg.SuperPages
+	if cfg.InputBytes > 0 {
+		opts.InputBytes = cfg.InputBytes
+	}
+	return toAppResult(apps.RunMetis(k, opts)), nil
+}

@@ -1,0 +1,98 @@
+// Package mosbench is the public API of the MOSBENCH reproduction: it runs
+// the experiments that regenerate the tables and figures of "An Analysis
+// of Linux Scalability to Many Cores" (OSDI 2010) on the simulated 48-core
+// machine, and returns their results as plain data.
+//
+// A minimal use:
+//
+//	series, err := mosbench.Run("fig4", mosbench.Options{Quick: true})
+//	fmt.Print(series.Table())
+//
+// Experiment IDs follow the paper: fig1..fig12 for its figures, plus
+// tbl-hw (the §5.1 latency table), dma (the §5.3 allocation ablation),
+// nic-env (the §5.4 card envelope), and ablate (per-fix ablations).
+package mosbench
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+// Options controls a run.
+type Options struct {
+	// Cores overrides the core-count sweep (default: 1..48 subset).
+	Cores []int
+	// Quick shrinks budgets and the sweep for fast runs.
+	Quick bool
+	// Seed sets the deterministic PRNG seed (0 = default).
+	Seed uint64
+}
+
+// Point is one measurement.
+type Point struct {
+	Cores                 int
+	Variant               string
+	PerCore               float64
+	UserMicros, SysMicros float64
+}
+
+// Series is the result of one experiment.
+type Series struct {
+	ID    string
+	Title string
+	Unit  string
+	Point []Point
+	Notes []string
+
+	inner *harness.Series
+}
+
+// Table renders the series as an aligned text table.
+func (s *Series) Table() string { return harness.Format(s.inner) }
+
+// CSV renders the series as CSV.
+func (s *Series) CSV() string { return harness.CSV(s.inner) }
+
+// Get returns the point for (variant, cores).
+func (s *Series) Get(variant string, cores int) (Point, bool) {
+	for _, p := range s.Point {
+		if p.Variant == variant && p.Cores == cores {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Experiment describes one runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+}
+
+// Experiments lists everything Run accepts.
+func Experiments() []Experiment {
+	var out []Experiment
+	for _, e := range harness.Experiments() {
+		out = append(out, Experiment{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) (*Series, error) {
+	e := harness.ByID(id)
+	if e == nil {
+		return nil, fmt.Errorf("mosbench: unknown experiment %q (use Experiments())", id)
+	}
+	hs := e.Run(harness.Options{Cores: o.Cores, Quick: o.Quick, Seed: o.Seed})
+	s := &Series{ID: hs.ID, Title: hs.Title, Unit: hs.Unit, Notes: hs.Notes, inner: hs}
+	for _, p := range hs.Points {
+		s.Point = append(s.Point, Point{
+			Cores: p.Cores, Variant: p.Variant, PerCore: p.PerCore,
+			UserMicros: p.UserMicros, SysMicros: p.SysMicros,
+		})
+	}
+	return s, nil
+}

@@ -1,0 +1,62 @@
+package mosbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 16 {
+		t.Fatalf("Experiments() returned %d entries, want >= 16", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+		if e.Title == "" || e.Paper == "" {
+			t.Errorf("experiment %q has empty metadata", e.ID)
+		}
+	}
+	for _, want := range []string{"fig3", "fig4", "fig11", "tbl-hw"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("Run(nope) did not error")
+	}
+}
+
+func TestRunQuickFig5(t *testing.T) {
+	s, err := Run("fig5", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "fig5" || s.Unit == "" {
+		t.Errorf("series metadata: %+v", s)
+	}
+	if _, ok := s.Get("PK", 48); !ok {
+		t.Errorf("missing PK/48 point in %+v", s.Point)
+	}
+	if !strings.Contains(s.Table(), "cores") {
+		t.Error("Table() output missing header")
+	}
+	if !strings.Contains(s.CSV(), "fig5,") {
+		t.Error("CSV() output missing rows")
+	}
+}
+
+func TestCustomCoreSweep(t *testing.T) {
+	s, err := Run("fig9", Options{Cores: []int{1, 48}, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Point {
+		if p.Cores != 1 && p.Cores != 48 {
+			t.Errorf("unexpected core count %d in custom sweep", p.Cores)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package sloppy implements sloppy counters — the reference-counting
+// technique introduced by Boyd-Wickizer et al. in "An Analysis of Linux
+// Scalability to Many Cores" (OSDI 2010, §4.3) — as a real, concurrent Go
+// primitive.
+//
+// A sloppy counter represents one logical counter as a single shared
+// central counter plus a set of per-shard counts of spare references. A
+// goroutine acquiring a reference first tries to take a spare from its
+// shard (an operation that usually stays within one CPU's cache); only
+// when the shard has no spares does it touch the central counter. Releases
+// park references as local spares, and shards holding more than a
+// threshold return the excess to the central counter.
+//
+// Invariant: central == references in use + sum of all shard spares.
+//
+// Like the kernel version, the expensive operation is reconciliation
+// (Value), which must visit every shard; use sloppy counters for objects
+// whose true count is needed rarely (e.g. deallocation decisions), not for
+// counters that are read as often as they are written.
+//
+// Shards are selected with a sync.Pool-cached index, which the runtime
+// keeps per-P, so steady-state acquire/release traffic is core-local
+// without any unsafe scheduling tricks.
+package sloppy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreshold is the per-shard spare cap used by New.
+const DefaultThreshold = 16
+
+// pad separates hot fields onto their own cache lines. 128 bytes covers
+// adjacent-line prefetchers on current hardware.
+type pad [128]byte
+
+type shard struct {
+	_      pad
+	spares atomic.Int64
+	_      pad
+}
+
+// Counter is a concurrent sloppy reference counter. The zero value is not
+// usable; construct with New or NewWithShards.
+type Counter struct {
+	central   atomic.Int64
+	shards    []shard
+	threshold int64
+
+	idxPool sync.Pool // caches *int shard indices per P
+	nextIdx atomic.Int64
+}
+
+// New returns a counter with one shard per logical CPU-ish unit (16
+// shards) and the default spare threshold.
+func New() *Counter { return NewWithShards(16, DefaultThreshold) }
+
+// NewWithShards returns a counter with the given shard count and per-shard
+// spare threshold. It panics if shards < 1 or threshold < 1; both are
+// static configuration errors.
+func NewWithShards(shards int, threshold int64) *Counter {
+	if shards < 1 {
+		panic("sloppy: shard count must be >= 1")
+	}
+	if threshold < 1 {
+		panic("sloppy: threshold must be >= 1")
+	}
+	c := &Counter{
+		shards:    make([]shard, shards),
+		threshold: threshold,
+	}
+	c.idxPool.New = func() interface{} {
+		i := int(c.nextIdx.Add(1)-1) % len(c.shards)
+		return &i
+	}
+	return c
+}
+
+// shardIndex returns a shard index with per-P affinity.
+func (c *Counter) shardIndex() int {
+	v := c.idxPool.Get().(*int)
+	i := *v
+	c.idxPool.Put(v)
+	return i
+}
+
+// Acquire takes n references. It panics if n <= 0.
+func (c *Counter) Acquire(n int64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("sloppy: Acquire(%d)", n))
+	}
+	sh := &c.shards[c.shardIndex()]
+	for {
+		cur := sh.spares.Load()
+		if cur < n {
+			break
+		}
+		if sh.spares.CompareAndSwap(cur, cur-n) {
+			return // satisfied from local spares
+		}
+	}
+	// Not enough spares: take from the central counter.
+	c.central.Add(n)
+}
+
+// Release returns n references, parking them as local spares and
+// reconciling the shard back to the central counter when it exceeds the
+// threshold. It panics if n <= 0. Releasing more references than were
+// acquired corrupts the logical count, exactly as it would in the kernel;
+// Check in tests catches it.
+func (c *Counter) Release(n int64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("sloppy: Release(%d)", n))
+	}
+	sh := &c.shards[c.shardIndex()]
+	total := sh.spares.Add(n)
+	if total > c.threshold {
+		// Return the excess above half the threshold in one batch.
+		give := total - c.threshold/2
+		if sh.spares.CompareAndSwap(total, total-give) {
+			c.central.Add(-give)
+		}
+		// If the CAS failed another goroutine raced us; its own release
+		// will reconcile.
+	}
+}
+
+// Value reconciles and returns the number of references currently in use:
+// central minus all spares. It is linearizable only when no concurrent
+// acquires/releases run; under concurrency it is a best-effort snapshot,
+// which matches the kernel usage (quiesced deallocation checks).
+func (c *Counter) Value() int64 {
+	var spares int64
+	for i := range c.shards {
+		spares += c.shards[i].spares.Load()
+	}
+	return c.central.Load() - spares
+}
+
+// Central returns the central counter value (in use + spares). This is the
+// cheap, conservative over-estimate: if Central() == 0 the object
+// certainly has no references.
+func (c *Counter) Central() int64 { return c.central.Load() }
+
+// Spares returns the total spare references currently parked in shards.
+func (c *Counter) Spares() int64 {
+	var spares int64
+	for i := range c.shards {
+		spares += c.shards[i].spares.Load()
+	}
+	return spares
+}
+
+// Shards returns the shard count.
+func (c *Counter) Shards() int { return len(c.shards) }
+
+// Check verifies the sloppy counter invariant given the caller's known
+// in-use count. It is meant for quiesced states in tests.
+func (c *Counter) Check(inUse int64) error {
+	central, spares := c.Central(), c.Spares()
+	if central != inUse+spares {
+		return fmt.Errorf("sloppy: invariant broken: central=%d inUse=%d spares=%d",
+			central, inUse, spares)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package sloppy
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireReleaseBalance(t *testing.T) {
+	c := New()
+	c.Acquire(1)
+	if got := c.Value(); got != 1 {
+		t.Errorf("Value after acquire = %d, want 1", got)
+	}
+	c.Release(1)
+	if got := c.Value(); got != 0 {
+		t.Errorf("Value after release = %d, want 0", got)
+	}
+	if err := c.Check(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalReuseAvoidsCentral(t *testing.T) {
+	c := NewWithShards(1, 8)
+	c.Acquire(1)
+	centralAfterFirst := c.Central()
+	c.Release(1)
+	c.Acquire(1) // should come from the spare pool
+	if got := c.Central(); got != centralAfterFirst {
+		t.Errorf("central changed %d -> %d on a locally satisfiable acquire", centralAfterFirst, got)
+	}
+	c.Release(1)
+}
+
+func TestThresholdReconciles(t *testing.T) {
+	c := NewWithShards(1, 4)
+	for i := 0; i < 100; i++ {
+		c.Acquire(1)
+		c.Release(1)
+	}
+	if got := c.Spares(); got > 4 {
+		t.Errorf("spares %d exceed threshold 4 after churn", got)
+	}
+	if err := c.Check(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchedAcquire(t *testing.T) {
+	c := New()
+	c.Acquire(10)
+	c.Release(7)
+	if got := c.Value(); got != 3 {
+		t.Errorf("Value = %d, want 3", got)
+	}
+	c.Release(3)
+	if err := c.Check(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentChurnInvariant(t *testing.T) {
+	c := NewWithShards(8, 16)
+	var wg sync.WaitGroup
+	const goroutines = 16
+	const iters = 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Acquire(1)
+				c.Release(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 0 {
+		t.Errorf("Value after balanced concurrent churn = %d, want 0", got)
+	}
+	if err := c.Check(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentHoldersInvariant(t *testing.T) {
+	c := NewWithShards(4, 8)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	held := make([]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if i%3 != 2 {
+					c.Acquire(2)
+					held[g] += 2
+				} else if held[g] > 0 {
+					c.Release(held[g])
+					held[g] = 0
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, h := range held {
+		total += h
+	}
+	if got := c.Value(); got != total {
+		t.Errorf("Value = %d, want %d held references", got, total)
+	}
+	if err := c.Check(total); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomSequences(t *testing.T) {
+	check := func(ops []uint8) bool {
+		c := NewWithShards(3, 5)
+		var held int64
+		for _, op := range ops {
+			if op%2 == 0 || held == 0 {
+				n := int64(op%3) + 1
+				c.Acquire(n)
+				held += n
+			} else {
+				c.Release(1)
+				held--
+			}
+		}
+		return c.Check(held) == nil && c.Value() == held
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, tc := range []struct{ shards, threshold int }{{0, 1}, {-1, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithShards(%d, %d) did not panic", tc.shards, tc.threshold)
+				}
+			}()
+			NewWithShards(tc.shards, int64(tc.threshold))
+		}()
+	}
+}
+
+func TestAcquireReleaseValidation(t *testing.T) {
+	c := New()
+	for _, n := range []int64{0, -1} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Acquire(%d) did not panic", n)
+				}
+			}()
+			c.Acquire(n)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Release(%d) did not panic", n)
+				}
+			}()
+			c.Release(n)
+		}()
+	}
+}
+
+func TestCentralIsConservative(t *testing.T) {
+	// Central() >= Value() always: spares only inflate the central count.
+	c := New()
+	for i := 0; i < 50; i++ {
+		c.Acquire(1)
+		if i%2 == 0 {
+			c.Release(1)
+		}
+	}
+	if c.Central() < c.Value() {
+		t.Errorf("Central() = %d < Value() = %d", c.Central(), c.Value())
+	}
+}
+
+func BenchmarkSloppyParallel(b *testing.B) {
+	c := New()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Acquire(1)
+			c.Release(1)
+		}
+	})
+}
+
+func BenchmarkSharedAtomicParallel(b *testing.B) {
+	// The stock-kernel equivalent: one shared atomic word.
+	var central atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			central.Add(1)
+			central.Add(-1)
+		}
+	})
+}
