@@ -48,6 +48,23 @@ func reportRatio(b *testing.B, s *harness.Series, variant, metric string) {
 	b.ReportMetric(p48.PerCore, label+"-48c-percore")
 }
 
+// BenchmarkQuickSweep runs one quick-mode application sweep in both sweep
+// modes, so the wall-clock gain of the concurrent executor is measurable
+// in-repo: compare the serial and parallel ns/op.
+func BenchmarkQuickSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"parallel", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := harness.ByID("fig5")
+			for i := 0; i < b.N; i++ {
+				e.Run(harness.Options{Quick: true, Seed: 1, Serial: mode.serial})
+			}
+		})
+	}
+}
+
 func BenchmarkFig1Ablations(b *testing.B) {
 	s := runExperiment(b, "ablate")
 	b.ReportMetric(float64(len(s.Notes)), "fixes-ablated")

@@ -22,13 +22,14 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		exp   = flag.String("experiment", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		cores = flag.String("cores", "", "comma-separated core counts (default: standard sweep)")
-		quick = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables")
-		seed  = flag.Uint64("seed", 1, "deterministic PRNG seed")
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		cores  = flag.String("cores", "", "comma-separated core counts (default: standard sweep)")
+		quick  = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
+		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
+		seed   = flag.Uint64("seed", 1, "deterministic PRNG seed")
+		serial = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
 	)
 	flag.Parse()
 
@@ -39,12 +40,12 @@ func main() {
 		}
 	case *all:
 		for _, e := range mosbench.Experiments() {
-			if err := runOne(e.ID, *cores, *quick, *csv, *seed); err != nil {
+			if err := runOne(e.ID, *cores, *quick, *csv, *serial, *seed); err != nil {
 				fatal(err)
 			}
 		}
 	case *exp != "":
-		if err := runOne(*exp, *cores, *quick, *csv, *seed); err != nil {
+		if err := runOne(*exp, *cores, *quick, *csv, *serial, *seed); err != nil {
 			fatal(err)
 		}
 	default:
@@ -53,8 +54,8 @@ func main() {
 	}
 }
 
-func runOne(id, coresFlag string, quick, csv bool, seed uint64) error {
-	o := mosbench.Options{Quick: quick, Seed: seed}
+func runOne(id, coresFlag string, quick, csv, serial bool, seed uint64) error {
+	o := mosbench.Options{Quick: quick, Seed: seed, Serial: serial}
 	if coresFlag != "" {
 		cs, err := parseCores(coresFlag)
 		if err != nil {

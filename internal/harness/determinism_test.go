@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepDeterminism is the regression guard for the parallel sweep and
+// the engine's fast-path scheduling: the same experiment with the same
+// seed must produce bit-identical Series, run twice in serial mode, twice
+// in parallel mode, and across the two modes.
+func TestSweepDeterminism(t *testing.T) {
+	for _, id := range []string{"scount", "fig5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e := ByID(id)
+			if e == nil {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			serial := Options{Quick: true, Seed: 7, Serial: true}
+			parallel := Options{Quick: true, Seed: 7}
+
+			s1, s2 := e.Run(serial), e.Run(serial)
+			p1, p2 := e.Run(parallel), e.Run(parallel)
+			if !reflect.DeepEqual(s1, s2) {
+				t.Errorf("%s: two serial runs with the same seed differ", id)
+			}
+			if !reflect.DeepEqual(p1, p2) {
+				t.Errorf("%s: two parallel runs with the same seed differ", id)
+			}
+			if !reflect.DeepEqual(s1, p1) {
+				t.Errorf("%s: serial and parallel sweeps differ:\nserial:   %+v\nparallel: %+v", id, s1, p1)
+			}
+			if len(s1.Points) == 0 {
+				t.Errorf("%s: sweep produced no points", id)
+			}
+		})
+	}
+}

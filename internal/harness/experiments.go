@@ -105,15 +105,17 @@ func stockPK(o Options, unit string, id, title string,
 	run func(cfg kernel.Config, cores int, o Options) apps.Result, perCoreScale float64) *Series {
 
 	s := &Series{ID: id, Title: title, Unit: unit}
+	var runs []func(int) Point
 	for _, cfgv := range []struct {
 		name string
 		cfg  kernel.Config
 	}{{"Stock", kernel.Stock()}, {"PK", kernel.PK()}} {
-		for _, c := range o.cores() {
-			r := run(cfgv.cfg, c, o)
-			s.Points = append(s.Points, point(r, cfgv.name, perCoreScale))
-		}
+		cfgv := cfgv
+		runs = append(runs, func(c int) Point {
+			return point(run(cfgv.cfg, c, o), cfgv.name, perCoreScale)
+		})
 	}
+	o.runGrid(s, runs)
 	return s
 }
 
@@ -167,13 +169,11 @@ func init() {
 		Paper: "Figure 6: requests/sec/core and CPU us/request vs cores",
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig6", Title: "Apache (Figure 6)", Unit: "req/s/core"}
-			for _, c := range o.cores() {
+			o.runGrid(s, []func(int) Point{
 				// Stock: one instance per core on distinct ports (§5.4).
-				s.Points = append(s.Points, point(runApache(kernel.Stock(), c, false, o), "Stock", 1))
-			}
-			for _, c := range o.cores() {
-				s.Points = append(s.Points, point(runApache(kernel.PK(), c, true, o), "PK", 1))
-			}
+				func(c int) Point { return point(runApache(kernel.Stock(), c, false, o), "Stock", 1) },
+				func(c int) Point { return point(runApache(kernel.PK(), c, true, o), "PK", 1) },
+			})
 			return s
 		},
 	})
@@ -208,11 +208,14 @@ func init() {
 		Paper: "Figure 10: jobs/hour/core for Threads, Procs, Procs RR",
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig10", Title: "pedsort (Figure 10)", Unit: "jobs/hr/core"}
+			var runs []func(int) Point
 			for _, mode := range []apps.PedsortMode{apps.PedsortThreads, apps.PedsortProcs, apps.PedsortProcsRR} {
-				for _, c := range o.cores() {
-					s.Points = append(s.Points, point(runPedsort(mode, c, o), mode.String(), 3600))
-				}
+				mode := mode
+				runs = append(runs, func(c int) Point {
+					return point(runPedsort(mode, c, o), mode.String(), 3600)
+				})
 			}
+			o.runGrid(s, runs)
 			return s
 		},
 	})
@@ -223,15 +226,17 @@ func init() {
 		Paper: "Figure 11: jobs/hour/core for 4KB stock vs 2MB PK",
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig11", Title: "Metis (Figure 11)", Unit: "jobs/hr/core"}
+			var runs []func(int) Point
 			for _, super := range []bool{false, true} {
-				name := "Stock + 4KB pages"
+				super, name := super, "Stock + 4KB pages"
 				if super {
 					name = "PK + 2MB pages"
 				}
-				for _, c := range o.cores() {
-					s.Points = append(s.Points, point(runMetis(super, c, o), name, 3600))
-				}
+				runs = append(runs, func(c int) Point {
+					return point(runMetis(super, c, o), name, 3600)
+				})
 			}
+			o.runGrid(s, runs)
 			return s
 		},
 	})
@@ -260,11 +265,14 @@ func runPostgresFig(o Options, id string, writeFrac float64) *Series {
 		{"Stock + mod PG", kernel.Stock(), true},
 		{"PK + mod PG", kernel.PK(), true},
 	}
+	var runs []func(int) Point
 	for _, v := range variants {
-		for _, c := range o.cores() {
-			s.Points = append(s.Points, point(runPostgres(v.cfg, c, writeFrac, v.mod, o), v.name, 1))
-		}
+		v := v
+		runs = append(runs, func(c int) Point {
+			return point(runPostgres(v.cfg, c, writeFrac, v.mod, o), v.name, 1)
+		})
 	}
+	o.runGrid(s, runs)
 	return s
 }
 
@@ -301,9 +309,24 @@ func runFig3(o Options) *Series {
 			func(c int) apps.Result { return runMetis(true, c, o) }},
 	}
 	s.Notes = append(s.Notes, "Table rows are applications, in Figure 3's order:")
+	// Each application needs four independent measurements (stock/PK at
+	// 1 and 48 cores); run all of them concurrently and assemble by index.
+	results := make([]apps.Result, len(appsList)*4)
+	o.parallelMap(len(results), func(i int) {
+		a := appsList[i/4]
+		switch i % 4 {
+		case 0:
+			results[i] = a.stock(1)
+		case 1:
+			results[i] = a.stock(48)
+		case 2:
+			results[i] = a.pk(1)
+		case 3:
+			results[i] = a.pk(48)
+		}
+	})
 	for i, a := range appsList {
-		s1, s48 := a.stock(1), a.stock(48)
-		p1, p48 := a.pk(1), a.pk(48)
+		s1, s48, p1, p48 := results[i*4], results[i*4+1], results[i*4+2], results[i*4+3]
 		stockRatio := s48.PerCore() / s1.PerCore()
 		pkRatio := p48.PerCore() / p1.PerCore()
 		// The Cores column carries the application ordinal so the table
@@ -349,9 +372,11 @@ func runFig12(o Options) *Series {
 			return ret(runMetis(true, 1, o), runMetis(true, 48, o))
 		}},
 	}
-	for _, r := range rows {
+	retained := make([]float64, len(rows))
+	o.parallelMap(len(rows), func(i int) { retained[i] = rows[i].retention() })
+	for i, r := range rows {
 		s.Notes = append(s.Notes,
-			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, r.retention()))
+			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, retained[i]))
 	}
 	return s
 }

@@ -5,8 +5,11 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Point is one measurement: an application variant at one core count.
@@ -66,6 +69,12 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks op budgets and the sweep for fast smoke runs.
 	Quick bool
+	// Serial runs sweep points one at a time on the calling goroutine. By
+	// default the independent points of a sweep (each owns its own Engine,
+	// Model, and PRNG) execute concurrently across GOMAXPROCS workers;
+	// results are assembled by index, so both modes produce identical
+	// Series.
+	Serial bool
 }
 
 // DefaultCores is the standard sweep, a subset of the paper's x-axis.
@@ -89,6 +98,53 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// parallelMap runs fn(i) for every i in [0, n) and returns when all calls
+// have finished. Unless o.Serial is set, the calls are spread across
+// GOMAXPROCS workers; every index must be an independent simulation
+// writing only to its own slot of a caller-owned slice, which makes the
+// result independent of execution order.
+func (o Options) parallelMap(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if o.Serial || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runGrid executes runs[v](c) for every variant v and core count c in o's
+// sweep, concurrently unless o.Serial, and appends the points to s grouped
+// by variant with cores ascending — exactly the order the equivalent
+// nested serial loops would produce.
+func (o Options) runGrid(s *Series, runs []func(cores int) Point) {
+	cores := o.cores()
+	pts := make([]Point, len(runs)*len(cores))
+	o.parallelMap(len(pts), func(i int) {
+		pts[i] = runs[i/len(cores)](cores[i%len(cores)])
+	})
+	s.Points = append(s.Points, pts...)
 }
 
 // Experiment is one regenerable paper artifact.

@@ -46,6 +46,13 @@ func init() {
 		Paper: "Figure 1: each fix applied alone to the most affected app at 48 cores",
 		Run:   runAblations,
 	})
+
+	register(Experiment{
+		ID:    "scount",
+		Title: "Sloppy vs shared counter scalability (simulated)",
+		Paper: "§4.3: a shared atomic serializes on one line; sloppy counters stay core-local",
+		Run:   runScountSweep,
+	})
 }
 
 // runHWLatencies measures the memory model's latencies with pointer-chase
@@ -143,8 +150,14 @@ func runDMAAblation(o Options) *Series {
 		// NIC envelope caps the achievable gain.
 		return apps.RunMemcached(k, opts)
 	}
-	node0 := run(false)
-	local := run(true)
+	var node0, local apps.Result
+	o.parallelMap(2, func(i int) {
+		if i == 0 {
+			node0 = run(false)
+		} else {
+			local = run(true)
+		}
+	})
 	s.Points = append(s.Points,
 		point(node0, "node-0 pool", 1),
 		point(local, "local pools", 1))
@@ -159,13 +172,57 @@ func runDMAAblation(o Options) *Series {
 // showing the device, not the kernel, caps delivery.
 func runNICEnvelope(o Options) *Series {
 	s := &Series{ID: "nic-env", Title: "NIC packet envelope (§5.4)", Unit: "Mpkt/s total"}
-	for _, c := range o.cores() {
+	o.runGrid(s, []func(int) Point{func(c int) Point {
 		r := runMemcached(kernel.PK(), c, o)
 		pps := r.Throughput() * 2 / 1e6 // one rx + one tx per request
-		s.Points = append(s.Points, Point{Cores: c, Variant: "UDP echo", PerCore: pps})
-	}
+		return Point{Cores: c, Variant: "UDP echo", PerCore: pps}
+	}})
 	s.Notes = append(s.Notes,
 		"PerCore column holds aggregate Mpkt/s; the plateau past 16 cores is the card envelope")
+	return s
+}
+
+// runScountSweep sweeps core counts with every core churning acquire and
+// release pairs on one logical reference counter, comparing the stock
+// shared atomic against the paper's sloppy counter (§4.3). Each point is
+// an independent simulation, so the sweep fans out across workers.
+func runScountSweep(o Options) *Series {
+	s := &Series{ID: "scount", Title: "Reference counter scalability (§4.3)", Unit: "pairs/ms/core"}
+	pairs := scale(400, o.Quick)
+	runPoint := func(variant string, cores int, mk func(md *mem.Model) scount.Counter) Point {
+		m := topo.New(cores)
+		md := mem.NewModel(m)
+		e := sim.NewEngine(m, o.seed())
+		ctr := mk(md)
+		for c := 0; c < cores; c++ {
+			e.Spawn(c, "churner", 0, func(p *sim.Proc) {
+				for i := 0; i < pairs; i++ {
+					ctr.Acquire(p, 1)
+					p.AdvanceUser(150) // hold the reference briefly
+					ctr.Release(p, 1)
+				}
+			})
+		}
+		e.Run()
+		ms := topo.CyclesToMicros(e.Now()) / 1e3
+		return Point{
+			Cores:      cores,
+			Variant:    variant,
+			PerCore:    float64(pairs) / ms,
+			UserMicros: topo.CyclesToMicros(e.TotalUserCycles()) / float64(pairs*cores),
+			SysMicros:  topo.CyclesToMicros(e.TotalSysCycles()) / float64(pairs*cores),
+		}
+	}
+	o.runGrid(s, []func(int) Point{
+		func(c int) Point {
+			return runPoint("Shared atomic", c, func(md *mem.Model) scount.Counter { return scount.NewShared(md, 0) })
+		},
+		func(c int) Point {
+			return runPoint("Sloppy", c, func(md *mem.Model) scount.Counter { return scount.NewSloppy(md, 0) })
+		},
+	})
+	s.Notes = append(s.Notes,
+		"Shared collapses as every pair serializes on one line; Sloppy stays flat (core-local spares)")
 	return s
 }
 
@@ -204,13 +261,23 @@ func runAblations(o Options) *Series {
 		}
 	}
 
-	for _, f := range kernel.Fixes {
-		base := runFor(f.Name, kernel.Stock())
+	// Each fix needs a baseline and a fix-enabled measurement; all 2N runs
+	// are independent simulations, so fan them out.
+	base := make([]float64, len(kernel.Fixes))
+	with := make([]float64, len(kernel.Fixes))
+	o.parallelMap(2*len(kernel.Fixes), func(i int) {
+		f := kernel.Fixes[i/2]
+		if i%2 == 0 {
+			base[i/2] = runFor(f.Name, kernel.Stock())
+			return
+		}
 		cfg := kernel.Stock()
 		f.Enable(&cfg)
-		with := runFor(f.Name, cfg)
+		with[i/2] = runFor(f.Name, cfg)
+	})
+	for i, f := range kernel.Fixes {
 		s.Notes = append(s.Notes, fmt.Sprintf("%-22s alone: %+6.1f%%  (apps: %s)",
-			f.Name, (with/base-1)*100, f.Apps[0]))
+			f.Name, (with[i]/base[i]-1)*100, f.Apps[0]))
 	}
 	return s
 }

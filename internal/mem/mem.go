@@ -16,6 +16,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/prof"
 	"repro/internal/topo"
@@ -31,6 +32,7 @@ const NoLine Line = -1
 // state is the directory entry for one line.
 type state struct {
 	sharers uint64 // bitmask of cores holding a valid copy
+	chips   uint8  // bitmask of chips with at least one sharer
 	owner   int8   // core that last wrote, -1 if never written
 	home    int8   // chip whose DRAM homes this line
 	dirty   bool   // true if owner's copy is modified
@@ -44,11 +46,19 @@ type state struct {
 	busyUntil int64
 }
 
+// initialLineCap pre-sizes the directory and its stats mirror so typical
+// models never regrow them access by access.
+const initialLineCap = 1024
+
 // Model is a directory-based coherence cost model for one machine.
 type Model struct {
 	mach  *topo.Machine
 	lines []state
-	stats []*prof.LineStats // per-line profile records, nil if unlabeled
+	stats []*prof.LineStats // per-line profile records, in lockstep with lines
+
+	// chipOf caches the core->chip mapping so the hot paths avoid the
+	// placement-policy branch in topo.Machine.Chip.
+	chipOf []int8
 
 	// Prof collects contention statistics for this machine.
 	Prof *prof.Registry
@@ -63,16 +73,23 @@ func NewModel(m *topo.Machine) *Model {
 	if m.NCores > 64 {
 		panic("mem: sharer bitmask supports at most 64 cores")
 	}
-	return &Model{mach: m, Prof: prof.New()}
+	chipOf := make([]int8, m.NCores)
+	for c := range chipOf {
+		chipOf[c] = int8(m.Chip(c))
+	}
+	return &Model{
+		mach:   m,
+		lines:  make([]state, 0, initialLineCap),
+		stats:  make([]*prof.LineStats, 0, initialLineCap),
+		chipOf: chipOf,
+		Prof:   prof.New(),
+	}
 }
 
 // Label attaches a profiler record to a line so its coherence traffic
 // appears in contention reports.
 func (md *Model) Label(l Line, name string) {
-	md.st(l) // bounds check
-	for int(l) >= len(md.stats) {
-		md.stats = append(md.stats, nil)
-	}
+	md.st(l) // bounds check; stats is always in lockstep with lines
 	if md.stats[l] == nil {
 		md.stats[l] = md.Prof.Line(name)
 	}
@@ -87,6 +104,7 @@ func (md *Model) Alloc(homeChip int) Line {
 		panic(fmt.Sprintf("mem: home chip %d out of range", homeChip))
 	}
 	md.lines = append(md.lines, state{owner: -1, home: int8(homeChip)})
+	md.stats = append(md.stats, nil)
 	return Line(len(md.lines) - 1)
 }
 
@@ -121,7 +139,7 @@ func (md *Model) Read(c int, l Line, now int64) int64 {
 	s := md.st(l)
 	md.reads++
 	bit := uint64(1) << uint(c)
-	myChip := md.mach.Chip(c)
+	myChip := int(md.chipOf[c])
 
 	var wait int64
 	if s.busyUntil > now && s.sharers&bit == 0 {
@@ -135,7 +153,7 @@ func (md *Model) Read(c int, l Line, now int64) int64 {
 		cost = topo.LatL1
 	case s.dirty:
 		// Must fetch the modified copy from the owner's cache.
-		ownerChip := md.mach.Chip(int(s.owner))
+		ownerChip := int(md.chipOf[s.owner])
 		cost = topo.RemoteCacheLatency(myChip, ownerChip)
 		if ownerChip != myChip {
 			md.remoteTransfers++
@@ -152,25 +170,30 @@ func (md *Model) Read(c int, l Line, now int64) int64 {
 		}
 	}
 	s.sharers |= bit
+	s.chips |= 1 << uint(myChip)
 	return wait + cost
 }
 
+// fetchFromSharers returns the latency of fetching a clean copy from the
+// nearest sharing cache. The directory tracks sharers per chip (s.chips),
+// and interconnect latency grows monotonically with hop distance, so the
+// nearest provider is found by widening the hop radius over the chip
+// bitmask instead of scanning all NCores sharer bits.
 func (md *Model) fetchFromSharers(myChip int, s *state) int64 {
-	best := int64(-1)
-	for c := 0; c < md.mach.NCores; c++ {
-		if s.sharers&(1<<uint(c)) == 0 {
-			continue
-		}
-		lat := topo.RemoteCacheLatency(myChip, md.mach.Chip(c))
-		if best < 0 || lat < best {
-			best = lat
-		}
-	}
-	if best == topo.LatL3 {
-		return best // same-chip L3 hit
+	if s.chips&(1<<uint(myChip)) != 0 {
+		return topo.LatL3 // same-chip L3 hit
 	}
 	md.remoteTransfers++
-	return best
+	maxHops := topo.Chips / 2
+	for d := 1; d <= maxHops; d++ {
+		left := (myChip + d) % topo.Chips
+		right := (myChip - d + topo.Chips) % topo.Chips
+		if s.chips&(1<<uint(left)|1<<uint(right)) != 0 {
+			// Equal hop distance means equal latency for both directions.
+			return topo.DRAMLatency(myChip, left)
+		}
+	}
+	panic("mem: fetchFromSharers on a line with no sharers")
 }
 
 // invalidatePerSharer is the extra cost charged to a writer for each remote
@@ -187,7 +210,7 @@ func (md *Model) Write(c int, l Line, now int64) int64 {
 	s := md.st(l)
 	md.writes++
 	bit := uint64(1) << uint(c)
-	myChip := md.mach.Chip(c)
+	myChip := int(md.chipOf[c])
 
 	var wait int64
 	if s.busyUntil > now {
@@ -201,7 +224,7 @@ func (md *Model) Write(c int, l Line, now int64) int64 {
 		cost = topo.LatL1
 	case s.dirty:
 		// Fetch modified data from previous owner, then own it.
-		ownerChip := md.mach.Chip(int(s.owner))
+		ownerChip := int(md.chipOf[s.owner])
 		cost = topo.RemoteCacheLatency(myChip, ownerChip)
 		if ownerChip != myChip {
 			md.remoteTransfers++
@@ -217,7 +240,7 @@ func (md *Model) Write(c int, l Line, now int64) int64 {
 	// Invalidation traffic: proportional to the number of *other* caches
 	// holding copies (§4.1: "the protocol finds the cached copies and
 	// invalidates them").
-	others := popcount(s.sharers &^ bit)
+	others := bits.OnesCount64(s.sharers &^ bit)
 	cost += int64(others) * invalidatePerSharer
 
 	// Contention is not work-conserving: an op that had to queue keeps
@@ -233,12 +256,13 @@ func (md *Model) Write(c int, l Line, now int64) int64 {
 
 	s.busyUntil = now + wait + occupancy
 	s.sharers = bit
+	s.chips = 1 << uint(myChip)
 	s.owner = int8(c)
 	s.dirty = true
 
-	if int(l) < len(md.stats) && md.stats[l] != nil {
-		md.stats[l].Writes++
-		md.stats[l].WaitCycles += wait
+	if st := md.stats[l]; st != nil {
+		st.Writes++
+		st.WaitCycles += wait
 	}
 	return wait + cost
 }
@@ -274,12 +298,3 @@ func (md *Model) RemoteTransfers() int64 { return md.remoteTransfers }
 
 // NumLines returns how many lines have been allocated.
 func (md *Model) NumLines() int { return len(md.lines) }
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}

@@ -19,6 +19,7 @@ package mm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -191,7 +192,7 @@ func (as *AddressSpace) Mmap(p *sim.Proc, bytes int64, huge bool) *Region {
 func (as *AddressSpace) Munmap(p *sim.Proc, r *Region) {
 	as.RegionLock.Lock(p)
 	cost := int64(mmapWork)
-	if others := popcount64(as.userCores &^ (1 << uint(p.Core()))); others > 0 {
+	if others := bits.OnesCount64(as.userCores &^ (1 << uint(p.Core()))); others > 0 {
 		cost += int64(others) * tlbShootdownPerCore
 	}
 	p.Advance(cost)
@@ -310,13 +311,4 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
-}
-
-func popcount64(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// BenchmarkAdvanceFastPath measures the cost of an Advance that does not
+// change the dispatch order: a single proc repeatedly advancing. With the
+// non-yielding fast path this costs no channel operations at all.
+func BenchmarkAdvanceFastPath(b *testing.B) {
+	e := NewEngine(topo.New(1), 1)
+	e.Spawn(0, "runner", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkYieldHandoff measures a forced scheduling handoff: two procs on
+// different cores with interleaved times, so every Advance must yield to
+// the other proc. This is the direct goroutine-to-goroutine handoff path.
+func BenchmarkYieldHandoff(b *testing.B) {
+	e := NewEngine(topo.New(2), 1)
+	body := func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(10)
+		}
+	}
+	e.Spawn(0, "a", 0, body)
+	e.Spawn(1, "b", 5, body) // offset times => strict interleaving
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkIdleFastPath measures Idle on a lone proc, which like Advance
+// can skip the yield when no other proc could run earlier.
+func BenchmarkIdleFastPath(b *testing.B) {
+	e := NewEngine(topo.New(1), 1)
+	e.Spawn(0, "idler", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Idle(3)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

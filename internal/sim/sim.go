@@ -55,6 +55,14 @@ type Proc struct {
 }
 
 // Engine owns the virtual clock, the runnable queue, and per-core occupancy.
+//
+// Scheduling is cooperative and single-threaded in effect: exactly one proc
+// goroutine runs at a time, and when it yields it dispatches the next
+// runnable proc directly (one channel send) instead of bouncing through a
+// central engine loop (which would cost two). A proc whose post-advance
+// time is still earlier than every runnable proc skips the yield entirely
+// — the dispatch order is provably unchanged — so uncontended stretches of
+// Advance/Idle cost no channel operations at all.
 type Engine struct {
 	// Machine is the hardware configuration being simulated.
 	Machine *topo.Machine
@@ -64,7 +72,7 @@ type Engine struct {
 	procs    []*Proc
 	runnable procHeap
 	coreFree []int64 // cycle at which each core next becomes free
-	yield    chan yieldMsg
+	stop     chan stopMsg
 	seq      uint64
 	running  bool
 	live     int   // procs not yet done
@@ -74,9 +82,9 @@ type Engine struct {
 	sysByCore  []int64
 }
 
-type yieldMsg struct {
-	p    *Proc
-	kind yieldKind
+// stopMsg is sent by the last active proc to hand control back to Run.
+type stopMsg struct {
+	deadlock bool
 }
 
 type yieldKind int
@@ -94,7 +102,7 @@ func NewEngine(m *topo.Machine, seed uint64) *Engine {
 		Machine:    m,
 		Rand:       xrand.New(seed),
 		coreFree:   make([]int64, m.NCores),
-		yield:      make(chan yieldMsg),
+		stop:       make(chan stopMsg, 1),
 		userByCore: make([]int64, m.NCores),
 		sysByCore:  make([]int64, m.NCores),
 	}
@@ -136,6 +144,10 @@ func (e *Engine) enqueue(p *Proc) {
 // Run executes the simulation until every proc has exited. It panics with a
 // description of the waiters if all remaining procs are blocked (deadlock),
 // since that is always a bug in the model.
+//
+// Run only bootstraps the first dispatch; thereafter each yielding proc
+// hands off directly to the next runnable proc, and the last one signals
+// Run through the stop channel.
 func (e *Engine) Run() {
 	if e.running {
 		panic("sim: Run called re-entrantly")
@@ -143,39 +155,55 @@ func (e *Engine) Run() {
 	e.running = true
 	defer func() { e.running = false }()
 
-	for e.live > 0 {
-		if e.runnable.Len() == 0 {
-			panic("sim: deadlock: " + e.blockedReport())
-		}
-		p := heap.Pop(&e.runnable).(*Proc)
-		e.now = p.time
-		if p.state == stateNew {
-			p.state = stateRunning
-			go func(p *Proc) {
-				t := <-p.resume
-				p.time = t
-				p.body(p)
-				p.yieldTo(yieldDone)
-			}(p)
-		} else {
-			p.state = stateRunning
-		}
-		p.resume <- p.time
-		msg := <-e.yield
-		switch msg.kind {
-		case yieldReady:
-			e.enqueue(msg.p)
-		case yieldBlock:
-			msg.p.state = stateBlocked
-		case yieldDone:
-			msg.p.state = stateDone
-			e.live--
-			// Account the proc's busy time to its core.
-			e.userByCore[msg.p.core] += msg.p.user
-			e.sysByCore[msg.p.core] += msg.p.sys
-			msg.p.user, msg.p.sys = 0, 0
-		}
+	if e.live == 0 {
+		return
 	}
+	if e.runnable.Len() == 0 {
+		panic("sim: deadlock: " + e.blockedReport())
+	}
+	next := heap.Pop(&e.runnable).(*Proc)
+	e.now = next.time
+	e.dispatch(next)
+	if st := <-e.stop; st.deadlock {
+		panic("sim: deadlock: " + e.blockedReport())
+	}
+}
+
+// dispatch starts or resumes a proc. The caller must have popped it from
+// the runnable heap and set e.now to its time.
+func (e *Engine) dispatch(next *Proc) {
+	if next.state == stateNew {
+		next.state = stateRunning
+		go func(p *Proc) {
+			p.time = <-p.resume
+			p.body(p)
+			p.yieldTo(yieldDone)
+		}(next)
+	} else {
+		next.state = stateRunning
+	}
+	next.resume <- next.time
+}
+
+// peekMin returns the runnable proc with the smallest (time, seq) key
+// without removing it, or nil if nothing is runnable.
+func (e *Engine) peekMin() *Proc {
+	if len(e.runnable) == 0 {
+		return nil
+	}
+	return e.runnable[0]
+}
+
+// keepRunning reports whether the calling proc, now at virtual time t, is
+// still strictly ahead of every runnable proc and may therefore continue
+// without yielding. Ties must yield: the queued proc was enqueued earlier,
+// so its sequence number is smaller and it wins dispatch.
+func (e *Engine) keepRunning(t int64) bool {
+	if head := e.peekMin(); head != nil && head.time <= t {
+		return false
+	}
+	e.now = t
+	return true
 }
 
 func (e *Engine) blockedReport() string {
@@ -218,8 +246,43 @@ func sum(xs []int64) int64 {
 
 // ---- Proc methods (call only from the proc's own goroutine) ----
 
+// yieldTo ends the proc's current dispatch and schedules the next runnable
+// proc on the spot: it updates the engine state the old central loop used
+// to own, pops the next proc, and resumes it with a single channel send.
+// (The zero-channel-ops case — the yielder staying first in dispatch order
+// — is handled before calling here, in Engine.keepRunning: a ready yielder
+// re-enqueues with a fresh, larger seq, so it can never win the pop below.)
 func (p *Proc) yieldTo(kind yieldKind) {
-	p.eng.yield <- yieldMsg{p: p, kind: kind}
+	e := p.eng
+	switch kind {
+	case yieldReady:
+		e.enqueue(p)
+	case yieldBlock:
+		p.state = stateBlocked
+	case yieldDone:
+		p.state = stateDone
+		e.live--
+		// Account the proc's busy time to its core.
+		e.userByCore[p.core] += p.user
+		e.sysByCore[p.core] += p.sys
+		p.user, p.sys = 0, 0
+	}
+	if e.live == 0 {
+		e.stop <- stopMsg{}
+		return
+	}
+	if e.runnable.Len() == 0 {
+		// Every remaining proc is blocked; Run reports the deadlock. A
+		// blocked yielder parks forever (the process is about to panic).
+		e.stop <- stopMsg{deadlock: true}
+		if kind != yieldDone {
+			p.time = <-p.resume
+		}
+		return
+	}
+	next := heap.Pop(&e.runnable).(*Proc)
+	e.now = next.time
+	e.dispatch(next)
 	if kind == yieldDone {
 		return
 	}
@@ -267,6 +330,9 @@ func (p *Proc) advance(cycles int64, acct *int64) {
 	p.eng.coreFree[p.core] = end
 	p.time = end
 	*acct += cycles
+	if p.eng.keepRunning(end) {
+		return
+	}
 	p.yieldTo(yieldReady)
 }
 
@@ -277,6 +343,9 @@ func (p *Proc) Idle(cycles int64) {
 		panic(fmt.Sprintf("sim: negative idle %d by %s", cycles, p.Name))
 	}
 	p.time += cycles
+	if p.eng.keepRunning(p.time) {
+		return
+	}
 	p.yieldTo(yieldReady)
 }
 
@@ -285,6 +354,9 @@ func (p *Proc) Idle(cycles int64) {
 func (p *Proc) IdleUntil(t int64) {
 	if t > p.time {
 		p.time = t
+	}
+	if p.eng.keepRunning(p.time) {
+		return
 	}
 	p.yieldTo(yieldReady)
 }

@@ -27,6 +27,10 @@ type Options struct {
 	Quick bool
 	// Seed sets the deterministic PRNG seed (0 = default).
 	Seed uint64
+	// Serial disables the concurrent execution of independent sweep
+	// points. Results are identical either way; serial mode exists for
+	// debugging and for pinning the harness to one OS thread.
+	Serial bool
 }
 
 // Point is one measurement.
@@ -86,7 +90,7 @@ func Run(id string, o Options) (*Series, error) {
 	if e == nil {
 		return nil, fmt.Errorf("mosbench: unknown experiment %q (use Experiments())", id)
 	}
-	hs := e.Run(harness.Options{Cores: o.Cores, Quick: o.Quick, Seed: o.Seed})
+	hs := e.Run(harness.Options{Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial})
 	s := &Series{ID: hs.ID, Title: hs.Title, Unit: hs.Unit, Notes: hs.Notes, inner: hs}
 	for _, p := range hs.Points {
 		s.Point = append(s.Point, Point{
