@@ -7,6 +7,7 @@
 //	mosbench -list
 //	mosbench -experiment fig4
 //	mosbench -experiment fig5 -cores 1,8,48 -csv
+//	mosbench -experiment fig11 -cores 1..48   (the paper's full x-axis)
 //	mosbench -all -quick
 package main
 
@@ -25,7 +26,7 @@ func main() {
 		list   = flag.Bool("list", false, "list available experiments")
 		exp    = flag.String("experiment", "", "experiment ID to run (see -list)")
 		all    = flag.Bool("all", false, "run every experiment")
-		cores  = flag.String("cores", "", "comma-separated core counts (default: standard sweep)")
+		cores  = flag.String("cores", "", "core counts: comma-separated values and lo..hi ranges, e.g. 1,8,48 or 1..48 (default: standard sweep)")
 		quick  = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
 		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
 		seed   = flag.Uint64("seed", 1, "deterministic PRNG seed")
@@ -75,19 +76,44 @@ func runOne(id, coresFlag string, quick, csv, serial bool, seed uint64) error {
 	return nil
 }
 
+// parseCores accepts comma-separated core counts where each element is a
+// single value or a lo..hi range: "1,8,48", "1..48", "1,4..8,48". The
+// full-grid "1..48" form runs the paper's complete x-axis.
 func parseCores(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
+		part = strings.TrimSpace(part)
+		lo, hi := part, part
+		if i := strings.Index(part, ".."); i >= 0 {
+			lo, hi = part[:i], part[i+2:]
+		}
+		a, err := parseCoreCount(lo)
 		if err != nil {
-			return nil, fmt.Errorf("bad core count %q: %v", part, err)
+			return nil, err
 		}
-		if n < 1 || n > 48 {
-			return nil, fmt.Errorf("core count %d out of range [1,48]", n)
+		b, err := parseCoreCount(hi)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, n)
+		if b < a {
+			return nil, fmt.Errorf("bad core range %q: %d > %d", part, a, b)
+		}
+		for n := a; n <= b; n++ {
+			out = append(out, n)
+		}
 	}
 	return out, nil
+}
+
+func parseCoreCount(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad core count %q: %v", s, err)
+	}
+	if n < 1 || n > 48 {
+		return 0, fmt.Errorf("core count %d out of range [1,48]", n)
+	}
+	return n, nil
 }
 
 func fatal(err error) {

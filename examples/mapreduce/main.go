@@ -28,7 +28,8 @@ func main() {
 			cores, small.PerCore*3600, super.PerCore*3600, super.KernelFraction)
 	}
 	fmt.Println("\nWith super-pages the kernel fraction is negligible: the residual")
-	fmt.Println("decline is the reduce phase saturating the ~51.5 GB/s DRAM ceiling.")
+	fmt.Println("decline is the reduce phase pushing every chip's memory controller")
+	fmt.Println("toward its share of the ~51.5 GB/s aggregate DRAM ceiling.")
 }
 
 func check(err error) {

@@ -34,6 +34,9 @@ type Result struct {
 	WallCycles int64
 	// UserCycles and SysCycles are total busy cycles across cores.
 	UserCycles, SysCycles int64
+	// DRAMUtil is each chip's memory-controller busy fraction over the
+	// run, for workloads that stream bulk data (nil otherwise).
+	DRAMUtil []float64
 }
 
 // Throughput returns total operations per second of virtual time.

@@ -108,6 +108,7 @@ func RunGmake(k *kernel.Kernel, opts GmakeOpts) Result {
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
+		DRAMUtil:   k.DRAMUtilization(),
 	}
 }
 
@@ -129,6 +130,9 @@ func gmakeCompile(k *kernel.Kernel, p *sim.Proc, self *proc.Process, j int, cost
 	obj := fs.Create(p, fmt.Sprintf("/build/obj/d%02d", j%16), fmt.Sprintf("f%03d-%d.o", j, p.Core()))
 	fs.Append(p, obj, gmakeObjBytes)
 	fs.Close(p, obj)
+	// The compiler's source read and object write stream through this
+	// chip's memory controller (tmpfs pages are allocated locally).
+	k.DRAM.TransferLocal(p, gmakeSourceBytes+gmakeObjBytes)
 
 	k.Procs.Exit(p, child)
 }

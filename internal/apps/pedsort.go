@@ -120,7 +120,9 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 				src := fs.Open(p, fmt.Sprintf("/src/d%02d/f%04d", f%32, f))
 				r := as.Mmap(p, opts.FileBytes, false)
 				for i := int64(0); i < r.Pages(); i++ {
-					as.Fault(p, r, nil)
+					// Faulted pages come from the local node; their zero
+					// traffic charges this chip's controller.
+					as.Fault(p, r, k.DRAM)
 				}
 				p.AdvanceUser(int64(float64(opts.FileBytes*pedsortHashPerByte) * userTax))
 				as.Munmap(p, r)
@@ -159,5 +161,6 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
+		DRAMUtil:   k.DRAMUtilization(),
 	}
 }

@@ -126,6 +126,7 @@ func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
+		DRAMUtil:   k.DRAMUtilization(),
 	}
 }
 
@@ -176,8 +177,11 @@ func pgQuery(k *kernel.Kernel, p *sim.Proc, st *pgState,
 			st.acquireLock(p, rowSlot, opts.ModPG)
 			// Update execution + WAL record construction. Commit flushes
 			// are batched by the walwriter off the critical path, so the
-			// per-query cost is user-mode work, not a shared-file append.
+			// per-query cost is user-mode work, not a shared-file append;
+			// the record bytes still stream through the local memory
+			// controller.
 			p.AdvanceUser(pgUserWorkPerWrite)
+			k.DRAM.TransferLocal(p, pgWALBytes)
 		}
 	}
 }

@@ -28,6 +28,7 @@ func point(r apps.Result, variant string, perCoreScale float64) Point {
 		PerCore:    r.PerCore() * perCoreScale,
 		UserMicros: r.UserMicrosPerOp(),
 		SysMicros:  r.SysMicrosPerOp(),
+		DRAMUtil:   r.DRAMUtil,
 	}
 }
 

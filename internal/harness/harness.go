@@ -22,6 +22,9 @@ type Point struct {
 	PerCore float64
 	// UserMicros and SysMicros are CPU microseconds per operation.
 	UserMicros, SysMicros float64
+	// DRAMUtil is each chip's memory-controller busy fraction during the
+	// run (nil for workloads that do no bulk streaming).
+	DRAMUtil []float64
 }
 
 // Series is the result of one experiment: one or more variant curves.
@@ -214,6 +217,22 @@ func Format(s *Series) string {
 			}
 			b.WriteString("\n")
 		}
+		// Per-chip memory-controller utilization, one row per point that
+		// streamed bulk data — this is where DRAM saturation localizes.
+		wroteHeader := false
+		for _, v := range variants {
+			for _, c := range cores {
+				p, ok := s.Get(v, c)
+				if !ok || len(p.DRAMUtil) == 0 {
+					continue
+				}
+				if !wroteHeader {
+					b.WriteString("dram controller utilization (per chip):\n")
+					wroteHeader = true
+				}
+				fmt.Fprintf(&b, "  %-28s %2d cores: %s\n", v, c, formatUtil(p.DRAMUtil))
+			}
+		}
 	}
 	for _, n := range s.Notes {
 		b.WriteString(n)
@@ -222,12 +241,31 @@ func Format(s *Series) string {
 	return b.String()
 }
 
-// CSV renders a series as CSV with a header row.
+// formatUtil renders a per-chip utilization vector compactly.
+func formatUtil(util []float64) string {
+	var b strings.Builder
+	for i, u := range util {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f", u)
+	}
+	return b.String()
+}
+
+// CSV renders a series as CSV with a header row. The dram_util column
+// holds the per-chip controller utilizations joined by ';' (empty for
+// workloads that stream no bulk data).
 func CSV(s *Series) string {
 	var b strings.Builder
-	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us\n")
+	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,dram_util\n")
 	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g\n", s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros)
+		var util []string
+		for _, u := range p.DRAMUtil {
+			util = append(util, fmt.Sprintf("%.3f", u))
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%s\n",
+			s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros, strings.Join(util, ";"))
 	}
 	return b.String()
 }

@@ -128,7 +128,11 @@ type Kernel struct {
 	FS      *vfs.FS
 	Procs   *proc.Table
 	Pages   *mm.PageStructs
-	DRAM    *mem.Bandwidth
+	// DRAM is the NUMA memory system: one queued controller per chip,
+	// each with that chip's share of the machine's aggregate rate. Apps
+	// route bulk transfers by home chip (DRAM.Transfer / TransferLocal)
+	// or grab a single chip's handle with DRAMFor.
+	DRAM *mem.Controllers
 }
 
 // pageStructSample is the number of page structs modeled for false-sharing
@@ -147,11 +151,18 @@ func New(m *topo.Machine, cfg Config, seed uint64) *Kernel {
 		Alloc:   alloc,
 		FS:      vfs.New(md, alloc, cfg.VFS()),
 		Pages:   mm.NewPageStructs(md, pageStructSample, cfg.PageFalseSharingFix),
-		DRAM:    mem.NewDRAMBandwidth(),
+		DRAM:    mem.NewControllers(),
 	}
 	k.Procs = proc.NewTable(md, k.Pages)
 	return k
 }
+
+// DRAMFor returns the memory controller serving the given chip's DRAM.
+func (k *Kernel) DRAMFor(chip int) *mem.Controller { return k.DRAM.Chip(chip) }
+
+// DRAMUtilization returns each chip's controller busy fraction over the
+// run so far (reported by the harness next to throughput).
+func (k *Kernel) DRAMUtilization() []float64 { return k.DRAM.Utilization(k.Engine.Now()) }
 
 // NewStack creates a network stack on this kernel. nic may be nil for
 // loopback-only workloads.

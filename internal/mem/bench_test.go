@@ -45,6 +45,20 @@ func BenchmarkMemReadSharedFar(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessSetRead measures batch charging of a fork-sized line set
+// against the directory — the path AccessSet amortizes for kernel
+// operations that touch dozens of lines.
+func BenchmarkAccessSetRead(b *testing.B) {
+	m := topo.New(48)
+	md := NewModel(m)
+	lines := md.AllocN(0, 24)
+	var now int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += md.AccessSet(i%48, lines, OpRead, now)
+	}
+}
+
 // BenchmarkAllocLabel measures allocation plus labeling, the directory
 // growth path that pre-sizing is meant to keep cheap.
 func BenchmarkAllocLabel(b *testing.B) {

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Controller is one chip's queued memory controller: a serially shared
+// interface that moves bytes at the chip's share of the machine's DRAM
+// rate. Bulk data movement (Metis's reduce phase, super-page zeroing,
+// compiler streams) charges bytes against the controller of the chip whose
+// DRAM holds the data; when demand on one chip exceeds its rate, procs
+// queue there — and only there. This is how the §5.8 DRAM saturation
+// localizes to a node instead of dimming one machine-wide envelope.
+type Controller struct {
+	chip           int
+	res            *sim.Resource
+	bytesPerCycle  float64
+	bytesRequested int64
+}
+
+func newController(chip int, bytesPerSec float64) *Controller {
+	return &Controller{
+		chip:          chip,
+		res:           sim.NewResource(fmt.Sprintf("dram-chip%d", chip)),
+		bytesPerCycle: bytesPerSec / topo.CyclesPerSec(),
+	}
+}
+
+// Chip returns the chip this controller serves.
+func (mc *Controller) Chip() int { return mc.chip }
+
+// CyclesFor returns how many cycles moving n bytes takes at the
+// controller's full rate, without queueing (for analytic uses).
+func (mc *Controller) CyclesFor(n int64) int64 {
+	svc := int64(float64(n) / mc.bytesPerCycle)
+	if svc < 1 {
+		svc = 1
+	}
+	return svc
+}
+
+// Transfer makes p wait for and then occupy this controller long enough to
+// move n bytes. The wait does not occupy p's core: the core stalls on
+// outstanding memory requests, which the model treats like any other
+// device wait.
+func (mc *Controller) Transfer(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	mc.bytesRequested += n
+	mc.res.Use(p, mc.CyclesFor(n))
+}
+
+// BytesRequested returns the total bytes charged to this controller.
+func (mc *Controller) BytesRequested() int64 { return mc.bytesRequested }
+
+// BusyCycles returns how long the controller has been occupied.
+func (mc *Controller) BusyCycles() int64 { return mc.res.BusyCycles() }
+
+// Controllers is the machine's NUMA memory system: one queued controller
+// per chip. Callers route each transfer by the chip whose DRAM homes the
+// data; cross-chip transfers additionally pay HyperTransport hop latency.
+type Controllers struct {
+	chips []*Controller
+}
+
+// NewControllers returns the paper machine's memory system: eight
+// controllers, each with a 1/8 share of the measured 51.5 GB/s aggregate.
+func NewControllers() *Controllers {
+	return NewControllersRate(topo.DRAMMaxBytesPerSec)
+}
+
+// NewControllersRate builds per-chip controllers splitting the given
+// aggregate rate (bytes/second) evenly across chips (tests use small
+// rates).
+func NewControllersRate(aggregateBytesPerSec float64) *Controllers {
+	cs := &Controllers{chips: make([]*Controller, topo.Chips)}
+	for i := range cs.chips {
+		cs.chips[i] = newController(i, aggregateBytesPerSec/topo.Chips)
+	}
+	return cs
+}
+
+// Chip returns the controller serving the given chip's DRAM.
+func (cs *Controllers) Chip(i int) *Controller {
+	if i < 0 || i >= len(cs.chips) {
+		panic(fmt.Sprintf("mem: controller for chip %d out of range", i))
+	}
+	return cs.chips[i]
+}
+
+// Transfer moves n bytes between the DRAM of chip home and the core
+// running p: it queues on home's controller and, when the requester sits
+// on a different chip, pays the HyperTransport hop latency on top of the
+// controller's completion. Saturating one chip's controller never slows
+// transfers homed on other chips.
+func (cs *Controllers) Transfer(p *sim.Proc, home int, n int64) {
+	if n <= 0 {
+		return
+	}
+	cs.Chip(home).Transfer(p, n)
+	if hops := topo.HopDistance(p.Chip(), home); hops > 0 {
+		p.Idle(int64(hops) * topo.HTHopLatency)
+	}
+}
+
+// TransferLocal moves n bytes through the controller of p's own chip — the
+// default placement for data a core allocated and first touched locally.
+func (cs *Controllers) TransferLocal(p *sim.Proc, n int64) {
+	cs.Transfer(p, p.Chip(), n)
+}
+
+// TransferStriped spreads n bytes evenly across every chip's controller,
+// the behavior of page-interleaved ("numactl --interleave") placement: each
+// slice queues on its own controller and remote slices pay their hop
+// latency.
+func (cs *Controllers) TransferStriped(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	slice := n / int64(len(cs.chips))
+	rem := n - slice*int64(len(cs.chips))
+	// Start at the local chip so a sub-chip-count remainder lands locally.
+	me := p.Chip()
+	for i := 0; i < len(cs.chips); i++ {
+		chip := (me + i) % len(cs.chips)
+		bytes := slice
+		if i == 0 {
+			bytes += rem
+		}
+		cs.Transfer(p, chip, bytes)
+	}
+}
+
+// BytesRequested returns the total bytes charged across all controllers.
+func (cs *Controllers) BytesRequested() int64 {
+	var t int64
+	for _, mc := range cs.chips {
+		t += mc.bytesRequested
+	}
+	return t
+}
+
+// Utilization returns each controller's busy fraction over the first
+// `elapsed` cycles of the run. A chip at ~1.0 while its neighbors idle is
+// the localized saturation the per-chip refactor exists to show.
+func (cs *Controllers) Utilization(elapsed int64) []float64 {
+	out := make([]float64, len(cs.chips))
+	if elapsed <= 0 {
+		return out
+	}
+	for i, mc := range cs.chips {
+		out[i] = float64(mc.res.BusyCycles()) / float64(elapsed)
+	}
+	return out
+}
+
+// MissRatio is the analytic shared-cache capacity model used for workloads
+// whose working set grows with core count (pedsort's msort phase, §5.7).
+// It returns the fraction of accesses that miss a cache of `capacity` bytes
+// given a resident working set of `ws` bytes, assuming a uniform reuse
+// pattern: 0 when the set fits, approaching 1 as the set dwarfs the cache.
+func MissRatio(ws, capacity int64) float64 {
+	if ws <= capacity || ws <= 0 {
+		return 0
+	}
+	return float64(ws-capacity) / float64(ws)
+}

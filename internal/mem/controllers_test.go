@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestControllerRate(t *testing.T) {
+	// Aggregate 8*24 bytes/sec => 24 bytes/sec per chip; a 24-byte local
+	// transfer takes one second.
+	cs := NewControllersRate(24 * topo.Chips)
+	e := sim.NewEngine(topo.New(1), 1)
+	var end int64
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		cs.TransferLocal(p, 24)
+		end = p.Now()
+	})
+	e.Run()
+	if want := topo.SecToCycles(1.0); end != want {
+		t.Errorf("24B at 24B/s/chip finished at %d cycles, want %d", end, want)
+	}
+}
+
+func TestControllerSaturationQueues(t *testing.T) {
+	// Two cores on chip 0 each move half the chip's per-second capacity at
+	// once: demand above the rate must produce queueing delay (the second
+	// transfer finishes about twice as late as the first).
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(2), 1)
+	n := int64(topo.DRAMChipBytesPerSec / 2)
+	ends := make([]int64, 2)
+	for c := 0; c < 2; c++ {
+		c := c
+		e.Spawn(c, "mover", 0, func(p *sim.Proc) {
+			cs.Transfer(p, 0, n)
+			ends[c] = p.Now()
+		})
+	}
+	e.Run()
+	lo, hi := ends[0], ends[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi < lo*3/2 {
+		t.Errorf("saturated transfers finished at %d and %d; second should queue", lo, hi)
+	}
+	if cs.BytesRequested() != 2*n {
+		t.Errorf("bytes requested = %d, want %d", cs.BytesRequested(), 2*n)
+	}
+}
+
+func TestPerChipSaturationLeavesOtherChipsAlone(t *testing.T) {
+	// Six cores hammer chip 0's controller while one core on chip 1 does a
+	// single local transfer. The chip-1 transfer must take exactly its
+	// unqueued service time: saturation is local to a controller.
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(12), 1)
+	big := int64(topo.DRAMChipBytesPerSec) // one second of chip-0 demand each
+	small := int64(1 << 20)
+	var chip1End int64
+	for c := 0; c < 6; c++ {
+		e.Spawn(c, "hog", 0, func(p *sim.Proc) {
+			cs.Transfer(p, 0, big)
+		})
+	}
+	e.Spawn(6, "bystander", 0, func(p *sim.Proc) { // core 6 = chip 1
+		cs.TransferLocal(p, small)
+		chip1End = p.Now()
+	})
+	e.Run()
+	if want := cs.Chip(1).CyclesFor(small); chip1End != want {
+		t.Errorf("idle-chip transfer finished at %d, want unqueued %d", chip1End, want)
+	}
+	util := cs.Utilization(e.Now())
+	if util[0] < 0.95 {
+		t.Errorf("chip 0 utilization = %.2f, want ~1.0 (saturated)", util[0])
+	}
+	for chip := 2; chip < topo.Chips; chip++ {
+		if util[chip] != 0 {
+			t.Errorf("chip %d utilization = %.2f, want 0 (idle)", chip, util[chip])
+		}
+	}
+}
+
+func TestCrossChipTransferPaysHopLatency(t *testing.T) {
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(1), 1)
+	n := int64(1 << 20)
+	var local, far int64
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		start := p.Now()
+		cs.Transfer(p, 0, n)
+		local = p.Now() - start
+		start = p.Now()
+		cs.Transfer(p, topo.MaxHops, n) // farthest chip
+		far = p.Now() - start
+	})
+	e.Run()
+	want := local + int64(topo.MaxHops)*topo.HTHopLatency
+	if far != want {
+		t.Errorf("far transfer took %d cycles, want %d (local %d + %d hops)",
+			far, want, local, topo.MaxHops)
+	}
+}
+
+func TestTransferStripedTouchesEveryController(t *testing.T) {
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(1), 1)
+	n := int64(topo.Chips*1024 + 7)
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		cs.TransferStriped(p, n)
+	})
+	e.Run()
+	var total int64
+	for chip := 0; chip < topo.Chips; chip++ {
+		got := cs.Chip(chip).BytesRequested()
+		if got == 0 {
+			t.Errorf("chip %d received no bytes from striped transfer", chip)
+		}
+		total += got
+	}
+	if total != n {
+		t.Errorf("striped transfer moved %d bytes in total, want %d", total, n)
+	}
+}
+
+func TestTransferZeroBytesIsFree(t *testing.T) {
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(1), 1)
+	var end int64
+	e.Spawn(0, "p", 0, func(p *sim.Proc) {
+		cs.TransferLocal(p, 0)
+		cs.TransferStriped(p, 0)
+		end = p.Now()
+	})
+	e.Run()
+	if end != 0 {
+		t.Errorf("zero-byte transfer advanced time to %d", end)
+	}
+}

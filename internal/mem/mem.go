@@ -136,10 +136,14 @@ func (md *Model) st(l Line) *state {
 // in flight waits for the transfer to finish but does not extend the busy
 // window (reads of a settled line proceed in parallel).
 func (md *Model) Read(c int, l Line, now int64) int64 {
+	return md.read(c, uint64(1)<<uint(c), int(md.chipOf[c]), l, now)
+}
+
+// read is Read with the per-access constants (sharer bit, chip) hoisted so
+// batch charging resolves them once per set instead of once per line.
+func (md *Model) read(c int, bit uint64, myChip int, l Line, now int64) int64 {
 	s := md.st(l)
 	md.reads++
-	bit := uint64(1) << uint(c)
-	myChip := int(md.chipOf[c])
 
 	var wait int64
 	if s.busyUntil > now && s.sharers&bit == 0 {
@@ -207,10 +211,13 @@ const invalidatePerSharer = 20
 // its own transfer extends the busy window. This is what makes a single
 // contended counter a bottleneck no matter how "lock-free" it is.
 func (md *Model) Write(c int, l Line, now int64) int64 {
+	return md.write(c, uint64(1)<<uint(c), int(md.chipOf[c]), l, now)
+}
+
+// write is Write with the per-access constants hoisted (see read).
+func (md *Model) write(c int, bit uint64, myChip int, l Line, now int64) int64 {
 	s := md.st(l)
 	md.writes++
-	bit := uint64(1) << uint(c)
-	myChip := int(md.chipOf[c])
 
 	var wait int64
 	if s.busyUntil > now {
@@ -251,7 +258,7 @@ func (md *Model) Write(c int, l Line, now int64) int64 {
 	// than the winner's transfer, capped at 3x.
 	occupancy := cost
 	if wait > 0 {
-		occupancy += min64(wait, 2*cost)
+		occupancy += min(wait, 2*cost)
 	}
 
 	s.busyUntil = now + wait + occupancy
@@ -267,13 +274,6 @@ func (md *Model) Write(c int, l Line, now int64) int64 {
 	return wait + cost
 }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // atomicRMWExtra is the extra cost of a locked read-modify-write over a
 // plain store (bus lock + pipeline serialization).
 const atomicRMWExtra = 10
@@ -285,6 +285,93 @@ const atomicRMWExtra = 10
 // coherence hardware serializes the operations on a given counter."
 func (md *Model) Atomic(c int, l Line, now int64) int64 {
 	return md.Write(c, l, now) + atomicRMWExtra
+}
+
+// Op identifies the access kind of a batch charge.
+type Op int
+
+const (
+	// OpRead charges plain loads.
+	OpRead Op = iota
+	// OpWrite charges plain stores (invalidate + own).
+	OpWrite
+	// OpAtomic charges locked read-modify-writes.
+	OpAtomic
+)
+
+// LineSet is a reusable builder for the line sets passed to AccessSet.
+// Kernel structures that touch the same group of lines on every operation
+// (a dentry's compared fields, a process's sampled page-table lines) build
+// the set once and re-charge it per operation without re-collecting.
+type LineSet struct {
+	lines []Line
+}
+
+// NewLineSet returns a set with room for n lines.
+func NewLineSet(n int) *LineSet { return &LineSet{lines: make([]Line, 0, n)} }
+
+// Add appends a line to the set and returns the set for chaining.
+func (ls *LineSet) Add(l Line) *LineSet {
+	ls.lines = append(ls.lines, l)
+	return ls
+}
+
+// Reset empties the set, keeping its capacity.
+func (ls *LineSet) Reset() { ls.lines = ls.lines[:0] }
+
+// Len returns the number of lines in the set.
+func (ls *LineSet) Len() int { return len(ls.lines) }
+
+// Lines exposes the underlying slice for AccessSet.
+func (ls *LineSet) Lines() []Line { return ls.lines }
+
+// AccessSet charges core c for op on every line of the set at virtual time
+// now and returns the total cycle cost. It is equivalent to issuing the
+// accesses one at a time at the same virtual time — one logical operation
+// whose misses the hardware pipelines — but resolves the directory with the
+// per-access constants (sharer bit, chip) computed once, which is what
+// kernel paths that touch many lines per operation (fork's page-table
+// sample, dlookup's field compare, a DMA buffer's payload) want.
+func (md *Model) AccessSet(c int, lines []Line, op Op, now int64) int64 {
+	bit := uint64(1) << uint(c)
+	myChip := int(md.chipOf[c])
+	var total int64
+	switch op {
+	case OpRead:
+		for _, l := range lines {
+			total += md.read(c, bit, myChip, l, now)
+		}
+	case OpWrite:
+		for _, l := range lines {
+			total += md.write(c, bit, myChip, l, now)
+		}
+	case OpAtomic:
+		for _, l := range lines {
+			total += md.write(c, bit, myChip, l, now) + atomicRMWExtra
+		}
+	default:
+		panic(fmt.Sprintf("mem: unknown op %d", op))
+	}
+	return total
+}
+
+// DMAWrite marks lines as freshly written by a DMA device: every cached
+// copy is invalidated and the data now lives, clean, in the home node's
+// DRAM. Devices are not cores, so no cycle cost is charged here — the cost
+// shows up when a core next reads the line and must fetch it from the home
+// chip's memory (local and cheap with per-core DMA pools, a cross-chip
+// fetch with the stock node-0 pools, §4.5/§5.3).
+func (md *Model) DMAWrite(lines []Line) {
+	for _, l := range lines {
+		s := md.st(l)
+		s.sharers = 0
+		s.chips = 0
+		s.owner = -1
+		s.dirty = false
+		// The device write supersedes any in-flight CPU transfer: the next
+		// reader pays exactly the home-DRAM fetch, never a stale busy wait.
+		s.busyUntil = 0
+	}
 }
 
 // Reads returns the total read count (for tests and reports).

@@ -219,8 +219,10 @@ const faultEntryWork = 400
 // Fault handles a soft page fault on the region: it takes the region lock
 // for reading, serializes super-page faults on the configured mutex,
 // allocates physical memory from the faulting core's node, and zeroes it.
-// bw, if non-nil, is the shared DRAM bandwidth the zeroing traffic charges.
-func (as *AddressSpace) Fault(p *sim.Proc, r *Region, bw *mem.Bandwidth) {
+// dram, if non-nil, is the NUMA memory system; the zeroing traffic charges
+// the controller of the faulting core's own chip, where the page was
+// allocated.
+func (as *AddressSpace) Fault(p *sim.Proc, r *Region, dram *mem.Controllers) {
 	p.Advance(faultEntryWork)
 	as.userCores |= 1 << uint(p.Core())
 	as.RegionLock.RLock(p)
@@ -230,15 +232,15 @@ func (as *AddressSpace) Fault(p *sim.Proc, r *Region, bw *mem.Bandwidth) {
 			mu = r.mu
 		}
 		mu.Acquire(p)
-		as.populate(p, r, bw)
+		as.populate(p, r, dram)
 		mu.Release(p)
 	} else {
-		as.populate(p, r, bw)
+		as.populate(p, r, dram)
 	}
 	as.RegionLock.RUnlock(p)
 }
 
-func (as *AddressSpace) populate(p *sim.Proc, r *Region, bw *mem.Bandwidth) {
+func (as *AddressSpace) populate(p *sim.Proc, r *Region, dram *mem.Controllers) {
 	node := p.Chip()
 	if r.Huge {
 		// hugetlbfs allocates from a pre-reserved pool: one grab, not
@@ -256,12 +258,12 @@ func (as *AddressSpace) populate(p *sim.Proc, r *Region, bw *mem.Bandwidth) {
 	// core, which is what the lost locality costs the application.
 	zero := r.PageSize() / zeroBytesPerCycle
 	if r.Huge && !as.cfg.NoncachingSuperPageZero {
-		displaced := min64(r.PageSize(), topo.L3Bytes) / topo.CacheLineBytes
+		displaced := min(r.PageSize(), int64(topo.L3Bytes)) / topo.CacheLineBytes
 		zero += displaced * topo.LatDRAMLocal / 8 // refills overlap 8-way
 	}
 	p.Advance(zero)
-	if bw != nil {
-		bw.Transfer(p, r.PageSize())
+	if dram != nil {
+		dram.Transfer(p, node, r.PageSize())
 	}
 }
 
@@ -274,6 +276,12 @@ func (as *AddressSpace) Regions() int { return len(as.regions) }
 // field (flags); in the stock layout they share a cache line.
 type PageStructs struct {
 	fields []*mem.Fields
+
+	// touchFlags/touchRefs are scratch sets reused by TouchN; procs of one
+	// engine run serially, so a single pair suffices and the batch path
+	// stays allocation-free like the per-struct Touch it replaces.
+	touchFlags *mem.LineSet
+	touchRefs  *mem.LineSet
 }
 
 // pageFieldCount: field 0 = flags (read-mostly), field 1 = refcount.
@@ -284,7 +292,10 @@ const (
 
 // NewPageStructs allocates n sampled page structs.
 func NewPageStructs(md *mem.Model, n int, padded bool) *PageStructs {
-	ps := &PageStructs{}
+	ps := &PageStructs{
+		touchFlags: mem.NewLineSet(n),
+		touchRefs:  mem.NewLineSet(n),
+	}
 	for i := 0; i < n; i++ {
 		ps.fields = append(ps.fields, mem.NewFields(md, i%topo.Chips, 2, padded))
 	}
@@ -292,11 +303,27 @@ func NewPageStructs(md *mem.Model, n int, padded bool) *PageStructs {
 }
 
 // Touch models one COW/fork-path page-struct access: read the flags and
-// atomically update the refcount of page i (mod the sample size).
+// atomically update the refcount of page i (mod the sample size). It is
+// the single-struct case of TouchN, so the two paths cannot diverge.
 func (ps *PageStructs) Touch(p *sim.Proc, md *mem.Model, i int) {
-	f := ps.fields[i%len(ps.fields)]
-	cost := f.Read(md, p.Core(), pageFieldFlags, p.Now())
-	cost += f.Write(md, p.Core(), pageFieldCount, p.Now()) + 10 // atomic inc
+	ps.TouchN(p, md, i, 1)
+}
+
+// TouchN batch-charges n consecutive page-struct touches starting at page
+// base: the flags reads and the refcount updates each resolve as one
+// mem.AccessSet over the sampled lines, amortizing the directory lookups
+// of fork/exit paths that touch dozens of page structs per operation.
+func (ps *PageStructs) TouchN(p *sim.Proc, md *mem.Model, base, n int) {
+	ps.touchFlags.Reset()
+	ps.touchRefs.Reset()
+	for i := 0; i < n; i++ {
+		f := ps.fields[(base+i)%len(ps.fields)]
+		ps.touchFlags.Add(f.LineOf(pageFieldFlags))
+		ps.touchRefs.Add(f.LineOf(pageFieldCount))
+	}
+	c := p.Core()
+	cost := md.AccessSet(c, ps.touchFlags.Lines(), mem.OpRead, p.Now())
+	cost += md.AccessSet(c, ps.touchRefs.Lines(), mem.OpAtomic, p.Now())
 	p.Advance(cost)
 }
 
@@ -304,11 +331,4 @@ func (ps *PageStructs) Touch(p *sim.Proc, md *mem.Model, i int) {
 func (ps *PageStructs) ReadFlags(p *sim.Proc, md *mem.Model, i int) {
 	f := ps.fields[i%len(ps.fields)]
 	p.Advance(f.Read(md, p.Core(), pageFieldFlags, p.Now()))
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

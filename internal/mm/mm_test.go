@@ -193,17 +193,20 @@ func TestPageStructFalseSharing(t *testing.T) {
 	}
 }
 
-func TestFaultChargesBandwidth(t *testing.T) {
+func TestFaultChargesLocalController(t *testing.T) {
 	e, md, a := setup(1)
 	as := NewAddressSpace(md, a, Config{NoncachingSuperPageZero: true}, 0)
-	bw := mem.NewDRAMBandwidth()
+	dram := mem.NewControllers()
 	e.Spawn(0, "p", 0, func(p *sim.Proc) {
 		r := as.Mmap(p, SuperPageBytes, true)
-		as.Fault(p, r, bw)
+		as.Fault(p, r, dram)
 	})
 	e.Run()
-	if bw.BytesRequested() != SuperPageBytes {
-		t.Errorf("bandwidth charged %d bytes, want %d", bw.BytesRequested(), SuperPageBytes)
+	if got := dram.Chip(0).BytesRequested(); got != SuperPageBytes {
+		t.Errorf("local controller charged %d bytes, want %d", got, SuperPageBytes)
+	}
+	if got := dram.BytesRequested(); got != SuperPageBytes {
+		t.Errorf("aggregate bytes = %d; fault traffic must not hit remote controllers", got)
 	}
 }
 

@@ -131,6 +131,7 @@ func (s *Stack) rxPacket(p *sim.Proc, n int64) {
 		s.nic.Transfer(p, 1)
 	}
 	s.skb.Get(p)
+	s.skb.DMARecv(p)
 	p.Advance(s.netdev.packetTouch(p) + driverWork)
 	s.protoMem.Acquire(p, 1)
 	s.dst.Acquire(p, 1)
@@ -375,6 +376,13 @@ type SkbPool struct {
 	coreLocks []*slock.SpinLock
 	coreLines []mem.Line
 
+	// payload samples the cache lines of each core's receive buffer. The
+	// buffer's home node follows the pool's allocation policy: node 0 for
+	// the stock single pool, the core's own node with per-core pools — so
+	// every received packet's first touch is a local or a cross-chip DRAM
+	// fetch accordingly (§5.3).
+	payload []*mem.LineSet
+
 	gets int64
 }
 
@@ -393,11 +401,35 @@ func newSkbPool(md *mem.Model, perCore bool) *SkbPool {
 		sp.coreLocks = append(sp.coreLocks,
 			slock.NewSpinLock(md, fmt.Sprintf("skb-pool-cpu%d", c), md.Machine().Chip(c)))
 		sp.coreLines = append(sp.coreLines, md.AllocLocal(c))
+		home := 0
+		if perCore {
+			home = md.Machine().Chip(c)
+		}
+		ls := mem.NewLineSet(dmaPayloadLines)
+		for i := 0; i < dmaPayloadLines; i++ {
+			ls.Add(md.Alloc(home))
+		}
+		sp.payload = append(sp.payload, ls)
 	}
 	return sp
 }
 
-const skbWork = 80 // buffer init once allocated
+const (
+	skbWork = 80 // buffer init once allocated
+	// dmaPayloadLines is how many buffer cache lines we sample per
+	// received packet for the DMA-landing cost.
+	dmaPayloadLines = 2
+)
+
+// DMARecv models the card depositing a packet into this core's receive
+// buffer: the DMA write invalidates any cached copies, and the driver's
+// first touch fetches the payload lines from the buffer's home DRAM — a
+// batch resolved in one AccessSet.
+func (sp *SkbPool) DMARecv(p *sim.Proc) {
+	ls := sp.payload[p.Core()]
+	sp.md.DMAWrite(ls.Lines())
+	p.Advance(sp.md.AccessSet(p.Core(), ls.Lines(), mem.OpRead, p.Now()))
+}
 
 // Get allocates a packet buffer.
 func (sp *SkbPool) Get(p *sim.Proc) {

@@ -77,16 +77,12 @@ func (t *Table) Fork(p *sim.Proc, parent *Process, childAS *mm.AddressSpace) *Pr
 	t.pidLock.Release(p)
 
 	child := &Process{PID: pid, AS: childAS, creatorCore: p.Core()}
-	var cost int64 = forkWork
 	child.ptLines = make([]mem.Line, ptSampleLines)
 	for i := range child.ptLines {
 		child.ptLines[i] = t.md.AllocLocal(p.Core())
-		cost += t.md.Write(p.Core(), child.ptLines[i], p.Now())
 	}
-	p.Advance(cost)
-	for i := 0; i < pageStructTouches; i++ {
-		t.ps.Touch(p, t.md, pid*7+i)
-	}
+	p.Advance(forkWork + t.md.AccessSet(p.Core(), child.ptLines, mem.OpWrite, p.Now()))
+	t.ps.TouchN(p, t.md, pid*7, pageStructTouches)
 	return child
 }
 
@@ -94,11 +90,7 @@ func (t *Table) Fork(p *sim.Proc, parent *Process, childAS *mm.AddressSpace) *Pr
 // parent initialized; cheap if the child runs on the parent's core, a
 // string of remote fetches otherwise.
 func (t *Table) ChildStart(p *sim.Proc, child *Process) {
-	var cost int64
-	for _, l := range child.ptLines {
-		cost += t.md.Read(p.Core(), l, p.Now())
-	}
-	p.Advance(cost)
+	p.Advance(t.md.AccessSet(p.Core(), child.ptLines, mem.OpRead, p.Now()))
 }
 
 // Exec charges an exec: new address space, binary load.
@@ -111,14 +103,8 @@ func (t *Table) Exec(p *sim.Proc) {
 // writing the sampled page-table lines (remote if the process migrated).
 func (t *Table) Exit(p *sim.Proc, proc *Process) {
 	t.exits++
-	var cost int64 = exitWork
-	for _, l := range proc.ptLines {
-		cost += t.md.Write(p.Core(), l, p.Now())
-	}
-	p.Advance(cost)
-	for i := 0; i < pageStructTouches; i++ {
-		t.ps.Touch(p, t.md, proc.PID*7+i)
-	}
+	p.Advance(exitWork + t.md.AccessSet(p.Core(), proc.ptLines, mem.OpWrite, p.Now()))
+	t.ps.TouchN(p, t.md, proc.PID*7, pageStructTouches)
 }
 
 // Forks returns the total fork count.

@@ -458,11 +458,7 @@ func (g *Gen) TryRead(p *sim.Proc, fieldLines []mem.Line) bool {
 		return false
 	}
 	before := g.gen
-	var cost int64
-	for _, fl := range fieldLines {
-		cost += g.md.Read(p.Core(), fl, p.Now())
-	}
-	p.Advance(cost)
+	p.Advance(g.md.AccessSet(p.Core(), fieldLines, mem.OpRead, p.Now()))
 	p.Advance(g.md.Read(p.Core(), g.line, p.Now()))
 	return g.gen == before
 }

@@ -49,6 +49,10 @@ const (
 	// achievable, measured by the paper's microbenchmarks (§5.8):
 	// 51.5 GByte/second.
 	DRAMMaxBytesPerSec = 51.5 * (1 << 30)
+	// DRAMChipBytesPerSec is one chip's share of the aggregate: each of
+	// the eight Opterons has its own on-die memory controller, and the
+	// 51.5 GB/s maximum is only reachable when all eight stream at once.
+	DRAMChipBytesPerSec = DRAMMaxBytesPerSec / Chips
 )
 
 // Machine describes an active machine configuration: the first NCores cores
@@ -115,11 +119,19 @@ func (m *Machine) CoresOnChip(chip int) int {
 	return n
 }
 
-// hopDistance returns the number of HyperTransport hops between two chips.
+// MaxHops is the largest HyperTransport hop distance between two chips
+// under the ring metric below.
+const MaxHops = Chips / 2
+
+// HTHopLatency is the added latency of one HyperTransport hop, derived
+// from the paper's DRAM latency spread: (503-122)/4 ≈ 95 cycles per hop.
+const HTHopLatency = (LatDRAMFar - LatDRAMLocal) / MaxHops
+
+// HopDistance returns the number of HyperTransport hops between two chips.
 // The eight chips form a twisted ladder; we approximate the distance with a
 // ring metric, which reproduces the paper's observed spread of DRAM
 // latencies (122 local to 503 farthest, i.e. up to 4 hops away).
-func hopDistance(a, b int) int {
+func HopDistance(a, b int) int {
 	d := a - b
 	if d < 0 {
 		d = -d
@@ -134,9 +146,9 @@ func hopDistance(a, b int) int {
 // line homed in the DRAM of chip `home`. Latency grows linearly with hop
 // count from the local 122 cycles to the 4-hop 503 cycles.
 func DRAMLatency(from, home int) int64 {
-	hops := hopDistance(from, home)
-	maxHops := Chips / 2
-	return LatDRAMLocal + int64(hops)*(LatDRAMFar-LatDRAMLocal)/int64(maxHops)
+	// Multiply before dividing: the spread does not divide evenly by
+	// MaxHops, and the 4-hop endpoint must land exactly on LatDRAMFar.
+	return LatDRAMLocal + int64(HopDistance(from, home))*(LatDRAMFar-LatDRAMLocal)/MaxHops
 }
 
 // RemoteCacheLatency returns the cycle cost for a core on chip `from` to

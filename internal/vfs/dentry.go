@@ -20,6 +20,7 @@ type Dentry struct {
 	inode    *Inode
 
 	fieldsLine mem.Line        // d_name/d_inode/d_parent, compared by lookup
+	fieldSet   *mem.LineSet    // the compared lines, prebuilt for batch charging
 	lock       *slock.SpinLock // d_lock
 	gen        *slock.Gen      // PK generation counter, nil in stock
 	ref        scount.Counter  // d_count

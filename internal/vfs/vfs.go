@@ -158,6 +158,9 @@ func (fs *FS) newDentrySetup(name string, parent *Dentry, isDir bool) *Dentry {
 	}
 	if fs.cfg.LockFreeDlookup {
 		d.gen = slock.NewGen(fs.md, homeChip)
+		// The lines the lock-free protocol compares, built once and
+		// batch-charged on every probe.
+		d.fieldSet = mem.NewLineSet(1).Add(d.fieldsLine)
 	}
 	if parent != nil {
 		parent.children[name] = d
@@ -245,14 +248,16 @@ func (fs *FS) Walk(p *sim.Proc, path string, holdFinal bool) *Dentry {
 // dgetCompare performs the dcache lookup step for one component: an
 // RCU-protected hash probe, field comparison (lock-free with generation
 // counters in PK, under the per-dentry spin lock in stock), and a
-// reference count acquire. The RCU section is why the *walk* itself scales
-// on both kernels; the stock bottlenecks are the per-dentry lock and the
-// refcount, which live outside RCU's protection (§4.4).
+// reference count acquire. The lock-free compare charges the dentry's
+// prebuilt field LineSet in one batch per probe. The RCU section is why
+// the *walk* itself scales on both kernels; the stock bottlenecks are the
+// per-dentry lock and the refcount, which live outside RCU's protection
+// (§4.4).
 func (fs *FS) dgetCompare(p *sim.Proc, d *Dentry) {
 	fs.rcu.ReadLock(p)
 	p.Advance(hashWork)
 	if fs.cfg.LockFreeDlookup && d.gen != nil {
-		if d.gen.TryRead(p, []mem.Line{d.fieldsLine}) {
+		if d.gen.TryRead(p, d.fieldSet.Lines()) {
 			d.ref.Acquire(p, 1)
 			fs.rcu.ReadUnlock(p)
 			return

@@ -22,6 +22,9 @@ type AppResult struct {
 	UserMicros, SysMicros float64
 	// KernelFraction is the share of busy CPU time spent in the kernel.
 	KernelFraction float64
+	// DRAMUtil is each chip's memory-controller busy fraction during the
+	// run (nil for workloads that stream no bulk data).
+	DRAMUtil []float64
 }
 
 func toAppResult(r apps.Result) AppResult {
@@ -33,6 +36,7 @@ func toAppResult(r apps.Result) AppResult {
 		UserMicros:     r.UserMicrosPerOp(),
 		SysMicros:      r.SysMicrosPerOp(),
 		KernelFraction: r.KernelFraction(),
+		DRAMUtil:       r.DRAMUtil,
 	}
 }
 

@@ -1,6 +1,9 @@
 package mosbench
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestRunEximCustom(t *testing.T) {
 	r, err := RunExim(EximConfig{Cores: 8, PK: true, SpoolDirs: 4, MessagesPerCore: 10})
@@ -65,7 +68,7 @@ func TestDeterministicSeeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same-seed runs differ: %+v vs %+v", a, b)
 	}
 }

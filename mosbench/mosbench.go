@@ -39,6 +39,9 @@ type Point struct {
 	Variant               string
 	PerCore               float64
 	UserMicros, SysMicros float64
+	// DRAMUtil is each chip's memory-controller busy fraction during the
+	// run (nil for workloads that stream no bulk data).
+	DRAMUtil []float64
 }
 
 // Series is the result of one experiment.
@@ -96,6 +99,7 @@ func Run(id string, o Options) (*Series, error) {
 		s.Point = append(s.Point, Point{
 			Cores: p.Cores, Variant: p.Variant, PerCore: p.PerCore,
 			UserMicros: p.UserMicros, SysMicros: p.SysMicros,
+			DRAMUtil: p.DRAMUtil,
 		})
 	}
 	return s, nil
