@@ -8,6 +8,7 @@
 //	mosbench -experiment fig4
 //	mosbench -experiment fig5 -cores 1,8,48 -csv
 //	mosbench -experiment fig11 -cores 1..48   (the paper's full x-axis)
+//	mosbench -experiment ht -placement striped
 //	mosbench -all -quick
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
 		seed   = flag.Uint64("seed", 1, "deterministic PRNG seed")
 		serial = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
+		place  = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
 	)
 	flag.Parse()
 
@@ -41,12 +43,12 @@ func main() {
 		}
 	case *all:
 		for _, e := range mosbench.Experiments() {
-			if err := runOne(e.ID, *cores, *quick, *csv, *serial, *seed); err != nil {
+			if err := runOne(e.ID, *cores, *quick, *csv, *serial, *seed, *place); err != nil {
 				fatal(err)
 			}
 		}
 	case *exp != "":
-		if err := runOne(*exp, *cores, *quick, *csv, *serial, *seed); err != nil {
+		if err := runOne(*exp, *cores, *quick, *csv, *serial, *seed, *place); err != nil {
 			fatal(err)
 		}
 	default:
@@ -55,8 +57,8 @@ func main() {
 	}
 }
 
-func runOne(id, coresFlag string, quick, csv, serial bool, seed uint64) error {
-	o := mosbench.Options{Quick: quick, Seed: seed, Serial: serial}
+func runOne(id, coresFlag string, quick, csv, serial bool, seed uint64, placement string) error {
+	o := mosbench.Options{Quick: quick, Seed: seed, Serial: serial, Placement: placement}
 	if coresFlag != "" {
 		cs, err := parseCores(coresFlag)
 		if err != nil {

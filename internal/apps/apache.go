@@ -95,6 +95,10 @@ func RunApache(k *kernel.Kernel, opts ApacheOpts) Result {
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
+		// Packet DMA landings are the bulk traffic here (node-0 pools
+		// stock, per-core pools with LocalDMABuf).
+		DRAMUtil: k.DRAMUtilization(),
+		LinkUtil: k.LinkUtilization(),
 	}
 }
 

@@ -37,6 +37,9 @@ type Result struct {
 	// DRAMUtil is each chip's memory-controller busy fraction over the
 	// run, for workloads that stream bulk data (nil otherwise).
 	DRAMUtil []float64
+	// LinkUtil is each HyperTransport link's busy fraction over the run,
+	// alongside DRAMUtil for the same workloads.
+	LinkUtil []float64
 }
 
 // Throughput returns total operations per second of virtual time.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
@@ -17,6 +18,9 @@ type GmakeOpts struct {
 	SerialPrepFrac float64
 	// SerialLinkFrac is the fraction in the final serial link.
 	SerialLinkFrac float64
+	// Placement selects where the compilers' source/object streams are
+	// homed (zero value: local tmpfs pages).
+	Placement mem.Placement
 }
 
 // DefaultGmakeOpts returns a scaled-down Linux-kernel-like build. The
@@ -90,7 +94,7 @@ func RunGmake(k *kernel.Kernel, opts GmakeOpts) Result {
 						break
 					}
 					next++
-					gmakeCompile(k, p, self, j, jobCost(j))
+					gmakeCompile(k, p, self, j, jobCost(j), opts.Placement)
 				}
 				active--
 				if active == 0 {
@@ -109,12 +113,13 @@ func RunGmake(k *kernel.Kernel, opts GmakeOpts) Result {
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
 		DRAMUtil:   k.DRAMUtilization(),
+		LinkUtil:   k.LinkUtilization(),
 	}
 }
 
 // gmakeCompile models one compiler invocation: fork+exec, read the source,
 // compile, write the object file.
-func gmakeCompile(k *kernel.Kernel, p *sim.Proc, self *proc.Process, j int, cost int64) {
+func gmakeCompile(k *kernel.Kernel, p *sim.Proc, self *proc.Process, j int, cost int64, pl mem.Placement) {
 	fs := k.FS
 	child := k.Procs.Fork(p, self, self.AS)
 	k.Procs.ChildStart(p, child)
@@ -130,9 +135,10 @@ func gmakeCompile(k *kernel.Kernel, p *sim.Proc, self *proc.Process, j int, cost
 	obj := fs.Create(p, fmt.Sprintf("/build/obj/d%02d", j%16), fmt.Sprintf("f%03d-%d.o", j, p.Core()))
 	fs.Append(p, obj, gmakeObjBytes)
 	fs.Close(p, obj)
-	// The compiler's source read and object write stream through this
-	// chip's memory controller (tmpfs pages are allocated locally).
-	k.DRAM.TransferLocal(p, gmakeSourceBytes+gmakeObjBytes)
+	// The compiler's source read and object write stream through the
+	// memory system under the configured placement (local by default:
+	// tmpfs pages are allocated on the faulting chip).
+	k.DRAM.TransferPlaced(p, pl, gmakeSourceBytes+gmakeObjBytes)
 
 	k.Procs.Exit(p, child)
 }

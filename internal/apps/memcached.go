@@ -67,5 +67,9 @@ func RunMemcached(k *kernel.Kernel, opts MemcachedOpts) Result {
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
+		// Packet DMA landings are the bulk traffic here (node-0 pools
+		// stock, per-core pools with LocalDMABuf).
+		DRAMUtil: k.DRAMUtilization(),
+		LinkUtil: k.LinkUtilization(),
 	}
 }

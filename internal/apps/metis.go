@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/mm"
 	"repro/internal/sim"
 )
@@ -21,6 +22,9 @@ type MetisOpts struct {
 	// TableBytesPerInputByte is how much temporary-table memory the
 	// inverted-index application allocates per input byte.
 	TableBytesPerInputByte float64
+	// Placement selects where the reduce phase's table stream is homed
+	// (zero value: local, the faulted-in first-touch placement).
+	Placement mem.Placement
 }
 
 // DefaultMetisOpts returns the scaled-down inverted-index job.
@@ -78,13 +82,15 @@ func RunMetis(k *kernel.Kernel, opts MetisOpts) Result {
 				p.AdvanceUser(userPerFault)
 			}
 			barrier(p)
-			// Reduce phase: stream the emitted table through this core's
-			// local memory controller (the tables were faulted in from the
-			// local node). The paper measures this phase at 50.0 GB/s
-			// aggregate against a 51.5 GB/s machine maximum at 48 cores;
-			// with per-chip controllers the saturation shows up on every
-			// populated chip's controller at once.
-			k.DRAM.TransferLocal(p, tableBytes)
+			// Reduce phase: stream the emitted table through the memory
+			// system under the configured placement. The default (local)
+			// matches the faulted-in first-touch pages; the paper measures
+			// this phase at 50.0 GB/s aggregate against a 51.5 GB/s machine
+			// maximum at 48 cores, and with per-chip controllers the
+			// saturation shows up on every populated chip at once. Striped
+			// or explicit-home placement moves the same stream onto the HT
+			// links instead.
+			k.DRAM.TransferPlaced(p, opts.Placement, tableBytes)
 			p.AdvanceUser(tableBytes * metisReducePerByte)
 		})
 	}
@@ -102,6 +108,7 @@ func RunMetis(k *kernel.Kernel, opts MetisOpts) Result {
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
 		DRAMUtil:   k.DRAMUtilization(),
+		LinkUtil:   k.LinkUtilization(),
 	}
 }
 

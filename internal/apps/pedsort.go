@@ -51,6 +51,9 @@ type PedsortOpts struct {
 	// SortSetBytes is the effective per-core working set of the final
 	// msort_with_tmp phase, which contends for L3 capacity.
 	SortSetBytes int64
+	// Placement selects where the merge phase's index stream is homed
+	// (zero value: local).
+	Placement mem.Placement
 }
 
 // DefaultPedsortOpts returns the scaled-down corpus.
@@ -147,6 +150,11 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 			sortWork := totalMerge / float64(cores)
 			sortWork *= 1 + pedsortMissPenalty*miss
 			p.AdvanceUser(int64(sortWork))
+			// The merge streams this core's share of the intermediate
+			// index through the memory system under the configured
+			// placement (local by default, matching the first-touch
+			// pages the hash phase faulted in).
+			k.DRAM.TransferPlaced(p, opts.Placement, int64(opts.Files)*opts.FileBytes/int64(cores))
 			out := fs.Create(p, "/tmp/ind", fmt.Sprintf("final-%d", c))
 			fs.Append(p, out, pedsortFlushBytes)
 			fs.Close(p, out)
@@ -162,5 +170,6 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
 		DRAMUtil:   k.DRAMUtilization(),
+		LinkUtil:   k.LinkUtilization(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/slock"
 	"repro/internal/vfs"
@@ -25,6 +26,9 @@ type PostgresOpts struct {
 	// LockMutexes overrides the lock-manager mutex count (defaults: 16
 	// stock, 1024 with ModPG).
 	LockMutexes int
+	// Placement selects where WAL record bytes are homed (zero value:
+	// local).
+	Placement mem.Placement
 }
 
 // DefaultPostgresOpts returns the read-only workload configuration.
@@ -127,6 +131,7 @@ func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),
 		DRAMUtil:   k.DRAMUtilization(),
+		LinkUtil:   k.LinkUtilization(),
 	}
 }
 
@@ -178,10 +183,10 @@ func pgQuery(k *kernel.Kernel, p *sim.Proc, st *pgState,
 			// Update execution + WAL record construction. Commit flushes
 			// are batched by the walwriter off the critical path, so the
 			// per-query cost is user-mode work, not a shared-file append;
-			// the record bytes still stream through the local memory
-			// controller.
+			// the record bytes still stream through the memory system
+			// under the configured placement (local by default).
 			p.AdvanceUser(pgUserWorkPerWrite)
-			k.DRAM.TransferLocal(p, pgWALBytes)
+			k.DRAM.TransferPlaced(p, opts.Placement, pgWALBytes)
 		}
 	}
 }

@@ -29,6 +29,7 @@ func point(r apps.Result, variant string, perCoreScale float64) Point {
 		UserMicros: r.UserMicrosPerOp(),
 		SysMicros:  r.SysMicrosPerOp(),
 		DRAMUtil:   r.DRAMUtil,
+		LinkUtil:   r.LinkUtil,
 	}
 }
 
@@ -62,6 +63,7 @@ func runPostgres(cfg kernel.Config, cores int, writeFrac float64, mod bool, o Op
 	opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 	opts.WriteFraction = writeFrac
 	opts.ModPG = mod
+	opts.Placement = o.Placement
 	return RunTagged(apps.RunPostgres(k, opts))
 }
 
@@ -69,6 +71,7 @@ func runGmake(cfg kernel.Config, cores int, o Options) apps.Result {
 	k := kernel.New(topo.New(cores), cfg, o.seed())
 	opts := apps.DefaultGmakeOpts()
 	opts.Objects = scale(opts.Objects, o.Quick)
+	opts.Placement = o.Placement
 	return RunTagged(apps.RunGmake(k, opts))
 }
 
@@ -81,6 +84,7 @@ func runPedsort(mode apps.PedsortMode, cores int, o Options) apps.Result {
 	opts := apps.DefaultPedsortOpts()
 	opts.Files = scale(opts.Files, o.Quick)
 	opts.Mode = mode
+	opts.Placement = o.Placement
 	return RunTagged(apps.RunPedsort(k, opts))
 }
 
@@ -95,6 +99,7 @@ func runMetis(super bool, cores int, o Options) apps.Result {
 		opts.InputBytes /= 4
 	}
 	opts.SuperPages = super
+	opts.Placement = o.Placement
 	return RunTagged(apps.RunMetis(k, opts))
 }
 

@@ -230,7 +230,7 @@ func runSteering(o Options) *Series {
 		k := kernel.New(m, cfg, o.seed())
 		netCfg := cfg.Net()
 		netCfg.MisdirectProb = prob
-		stack := netsim.NewStack(k.MD, k.FS, nil, netCfg)
+		stack := netsim.NewStack(k.MD, k.FS, nil, k.DRAM, netCfg)
 		k.FS.MustCreateFile("/www/f", 300)
 		reqs := scale(150, o.Quick)
 		for c := 0; c < cores; c++ {

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"testing"
+)
+
+// goldenCores is the sweep the golden suite pins shapes on: dense enough
+// to localize a collapse onset, small enough to keep the suite fast.
+var goldenCores = []int{1, 2, 4, 8, 16, 24, 32, 48}
+
+// goldenFig pins the qualitative shape of one stock-vs-PK figure series
+// from the paper. The numbers are tolerance bands, not exact values: the
+// suite exists so engine refactors can't silently invert a figure (stock
+// beating PK at 48 cores, a collapse moving to the wrong region, speedup
+// turning into slowdown at low core counts), while leaving room for cost
+// models to be retuned.
+type goldenFig struct {
+	id    string
+	stock string // the figure's unfixed variant label
+	pk    string // the figure's fixed variant label
+
+	// monotoneThrough: total throughput (per-core x cores) must not
+	// shrink, for either variant, from one sweep point to the next up to
+	// this core count — the paper's monotone speedup region.
+	monotoneThrough int
+
+	// [onsetLo, onsetHi]: the stock variant's collapse/plateau onset —
+	// the first sweep point whose per-core throughput falls below
+	// threshold x the series' best — must land in this band.
+	onsetLo, onsetHi int
+	threshold        float64
+
+	// minRatio: PK per-core at 48 cores must be at least this multiple
+	// of stock's (1.0 = PK >= stock; slightly under 1 where the paper
+	// itself shows no stock-vs-PK gap).
+	minRatio float64
+}
+
+var goldenFigs = []goldenFig{
+	{id: "fig4", stock: "Stock", pk: "PK",
+		monotoneThrough: 16, onsetLo: 16, onsetHi: 32, threshold: 0.70, minRatio: 1},
+	{id: "fig5", stock: "Stock", pk: "PK",
+		monotoneThrough: 4, onsetLo: 4, onsetHi: 16, threshold: 0.70, minRatio: 1},
+	{id: "fig6", stock: "Stock", pk: "PK",
+		monotoneThrough: 16, onsetLo: 16, onsetHi: 32, threshold: 0.70, minRatio: 1},
+	{id: "fig7", stock: "Stock", pk: "PK + mod PG",
+		monotoneThrough: 24, onsetLo: 32, onsetHi: 48, threshold: 0.70, minRatio: 1},
+	{id: "fig8", stock: "Stock", pk: "PK + mod PG",
+		monotoneThrough: 16, onsetLo: 16, onsetHi: 32, threshold: 0.70, minRatio: 1},
+	// gmake declines gradually (Amdahl + stragglers) and the paper shows
+	// essentially no stock-vs-PK gap, so the band is wide and the ratio
+	// floor sits just under 1.
+	{id: "fig9", stock: "Stock", pk: "PK",
+		monotoneThrough: 48, onsetLo: 16, onsetHi: 48, threshold: 0.70, minRatio: 0.95},
+	{id: "fig10", stock: "Stock + Threads", pk: "Stock + Procs RR",
+		monotoneThrough: 48, onsetLo: 2, onsetHi: 8, threshold: 0.65, minRatio: 1},
+	{id: "fig11", stock: "Stock + 4KB pages", pk: "PK + 2MB pages",
+		monotoneThrough: 48, onsetLo: 8, onsetHi: 24, threshold: 0.70, minRatio: 1},
+}
+
+// perCoreCurve extracts one variant's per-core curve over goldenCores.
+func perCoreCurve(t *testing.T, s *Series, variant string) []float64 {
+	t.Helper()
+	out := make([]float64, len(goldenCores))
+	for i, c := range goldenCores {
+		p, ok := s.Get(variant, c)
+		if !ok {
+			t.Fatalf("%s: no point for variant %q at %d cores", s.ID, variant, c)
+		}
+		out[i] = p.PerCore
+	}
+	return out
+}
+
+// collapseOnset returns the first sweep core count whose per-core
+// throughput falls below threshold x the curve's maximum, or 0 if the
+// curve never collapses.
+func collapseOnset(curve []float64, threshold float64) int {
+	best := 0.0
+	for _, v := range curve {
+		if v > best {
+			best = v
+		}
+	}
+	for i, v := range curve {
+		if v < threshold*best {
+			return goldenCores[i]
+		}
+	}
+	return 0
+}
+
+// TestGoldenFigureShapes is the paper-figure regression suite: each
+// stock-vs-PK series must keep its monotone speedup region, collapse in
+// the right core-count band, and end with PK at or above stock at 48
+// cores. Budgets are Quick; the shapes are what matter.
+func TestGoldenFigureShapes(t *testing.T) {
+	for _, g := range goldenFigs {
+		g := g
+		t.Run(g.id, func(t *testing.T) {
+			t.Parallel()
+			e := ByID(g.id)
+			if e == nil {
+				t.Fatalf("experiment %q not registered", g.id)
+			}
+			s := e.Run(Options{Quick: true, Seed: 1, Cores: goldenCores})
+
+			stock := perCoreCurve(t, s, g.stock)
+			pk := perCoreCurve(t, s, g.pk)
+
+			// Monotone speedup region: total throughput must not shrink
+			// (beyond 2% slack) point to point, for either variant, up to
+			// the figure's monotoneThrough core count.
+			for name, curve := range map[string][]float64{g.stock: stock, g.pk: pk} {
+				for i := 1; i < len(goldenCores) && goldenCores[i] <= g.monotoneThrough; i++ {
+					prev := curve[i-1] * float64(goldenCores[i-1])
+					cur := curve[i] * float64(goldenCores[i])
+					if cur < 0.98*prev {
+						t.Errorf("%s %q: total throughput shrinks %d->%d cores (%.1f -> %.1f) inside the monotone region",
+							g.id, name, goldenCores[i-1], goldenCores[i], prev, cur)
+					}
+				}
+			}
+
+			// Collapse onset band for the stock variant.
+			onset := collapseOnset(stock, g.threshold)
+			if onset == 0 {
+				t.Errorf("%s %q: expected a collapse onset in [%d,%d], but the curve never drops below %.0f%% of its peak",
+					g.id, g.stock, g.onsetLo, g.onsetHi, 100*g.threshold)
+			} else if onset < g.onsetLo || onset > g.onsetHi {
+				t.Errorf("%s %q: collapse onset at %d cores, want within [%d,%d] (curve %v)",
+					g.id, g.stock, onset, g.onsetLo, g.onsetHi, stock)
+			}
+
+			// The fix must not lose to stock at 48 cores.
+			s48, p48 := stock[len(stock)-1], pk[len(pk)-1]
+			if p48 < g.minRatio*s48 {
+				t.Errorf("%s: PK variant %q at 48 cores = %.1f, below %.2f x stock %q = %.1f",
+					g.id, g.pk, p48, g.minRatio, g.stock, s48)
+			}
+		})
+	}
+}
+
+// TestHTLinkSaturationLocalizes is the interconnect acceptance check: with
+// striped placement at 48 cores the busiest HT link must be pinned
+// (>= 0.99 busy) while every DRAM controller stays under half load — the
+// bottleneck is the path, not the destination — while local placement
+// never touches a link and remote placement saturates only chip 0's
+// controller.
+func TestHTLinkSaturationLocalizes(t *testing.T) {
+	s := ByID("ht").Run(Options{Quick: true, Seed: 1, Cores: []int{48}})
+
+	striped, ok := s.Get("striped", 48)
+	if !ok {
+		t.Fatal("ht: no striped point at 48 cores")
+	}
+	maxLink, minCtrl := 0.0, 1.0
+	for _, u := range striped.LinkUtil {
+		if u > maxLink {
+			maxLink = u
+		}
+	}
+	for _, u := range striped.DRAMUtil {
+		if u < minCtrl {
+			minCtrl = u
+		}
+	}
+	if maxLink < 0.99 {
+		t.Errorf("striped 48c: busiest link at %.3f, want >= 0.99 (links %v)", maxLink, striped.LinkUtil)
+	}
+	if minCtrl >= 0.5 {
+		t.Errorf("striped 48c: all controllers >= 0.5 (min %.3f); link saturation should leave them underloaded", minCtrl)
+	}
+
+	local, ok := s.Get("local", 48)
+	if !ok {
+		t.Fatal("ht: no local point at 48 cores")
+	}
+	for l, u := range local.LinkUtil {
+		if u != 0 {
+			t.Errorf("local 48c: link %d busy at %.3f, want 0", l, u)
+		}
+	}
+
+	remote, ok := s.Get("remote (node 0)", 48)
+	if !ok {
+		t.Fatal("ht: no remote point at 48 cores")
+	}
+	if remote.DRAMUtil[0] < 0.99 {
+		t.Errorf("remote 48c: chip 0 controller at %.3f, want >= 0.99", remote.DRAMUtil[0])
+	}
+	for chip := 1; chip < len(remote.DRAMUtil); chip++ {
+		if remote.DRAMUtil[chip] != 0 {
+			t.Errorf("remote 48c: chip %d controller busy at %.3f, want 0", chip, remote.DRAMUtil[chip])
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/mem"
 )
 
 // Point is one measurement: an application variant at one core count.
@@ -25,6 +27,9 @@ type Point struct {
 	// DRAMUtil is each chip's memory-controller busy fraction during the
 	// run (nil for workloads that do no bulk streaming).
 	DRAMUtil []float64
+	// LinkUtil is each HyperTransport link's busy fraction during the
+	// run (nil for workloads that do no bulk streaming).
+	LinkUtil []float64
 }
 
 // Series is the result of one experiment: one or more variant curves.
@@ -78,6 +83,11 @@ type Options struct {
 	// results are assembled by index, so both modes produce identical
 	// Series.
 	Serial bool
+	// Placement selects the bulk-data placement policy for the workloads
+	// that stream through the memory system (Metis, pedsort, gmake,
+	// PostgreSQL). The zero value is local placement, the pre-option
+	// behavior.
+	Placement mem.Placement
 }
 
 // DefaultCores is the standard sweep, a subset of the paper's x-axis.
@@ -233,6 +243,22 @@ func Format(s *Series) string {
 				fmt.Fprintf(&b, "  %-28s %2d cores: %s\n", v, c, formatUtil(p.DRAMUtil))
 			}
 		}
+		// Per-link HT utilization: the busiest link pinned near 1.00 while
+		// controllers idle is interconnect saturation.
+		wroteHeader = false
+		for _, v := range variants {
+			for _, c := range cores {
+				p, ok := s.Get(v, c)
+				if !ok || len(p.LinkUtil) == 0 {
+					continue
+				}
+				if !wroteHeader {
+					b.WriteString("ht link utilization (per link):\n")
+					wroteHeader = true
+				}
+				fmt.Fprintf(&b, "  %-28s %2d cores: %s\n", v, c, formatUtil(p.LinkUtil))
+			}
+		}
 	}
 	for _, n := range s.Notes {
 		b.WriteString(n)
@@ -253,19 +279,26 @@ func formatUtil(util []float64) string {
 	return b.String()
 }
 
-// CSV renders a series as CSV with a header row. The dram_util column
-// holds the per-chip controller utilizations joined by ';' (empty for
-// workloads that stream no bulk data).
+// CSV renders a series as CSV with a header row. The dram_util and
+// link_util columns hold the per-chip controller and per-link HT
+// utilizations joined by ';' (empty for workloads that stream no bulk
+// data).
 func CSV(s *Series) string {
 	var b strings.Builder
-	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,dram_util\n")
+	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,dram_util,link_util\n")
 	for _, p := range s.Points {
-		var util []string
-		for _, u := range p.DRAMUtil {
-			util = append(util, fmt.Sprintf("%.3f", u))
-		}
-		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%s\n",
-			s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros, strings.Join(util, ";"))
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%s,%s\n",
+			s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros,
+			joinUtil(p.DRAMUtil), joinUtil(p.LinkUtil))
 	}
 	return b.String()
+}
+
+// joinUtil renders a utilization vector as the ';'-joined CSV cell.
+func joinUtil(util []float64) string {
+	var parts []string
+	for _, u := range util {
+		parts = append(parts, fmt.Sprintf("%.3f", u))
+	}
+	return strings.Join(parts, ";")
 }

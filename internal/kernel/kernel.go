@@ -129,9 +129,11 @@ type Kernel struct {
 	Procs   *proc.Table
 	Pages   *mm.PageStructs
 	// DRAM is the NUMA memory system: one queued controller per chip,
-	// each with that chip's share of the machine's aggregate rate. Apps
-	// route bulk transfers by home chip (DRAM.Transfer / TransferLocal)
-	// or grab a single chip's handle with DRAMFor.
+	// each with that chip's share of the machine's aggregate rate, joined
+	// by the finite-rate HyperTransport link ring. Apps route bulk
+	// transfers by home chip (DRAM.Transfer / TransferLocal), by policy
+	// (DRAM.TransferPlaced), or grab a single chip's handle with DRAMFor;
+	// cross-chip transfers queue on every link of their route.
 	DRAM *mem.Controllers
 }
 
@@ -164,10 +166,15 @@ func (k *Kernel) DRAMFor(chip int) *mem.Controller { return k.DRAM.Chip(chip) }
 // run so far (reported by the harness next to throughput).
 func (k *Kernel) DRAMUtilization() []float64 { return k.DRAM.Utilization(k.Engine.Now()) }
 
+// LinkUtilization returns each HyperTransport link's busy fraction over
+// the run so far (reported by the harness next to DRAMUtilization).
+func (k *Kernel) LinkUtilization() []float64 { return k.DRAM.LinkUtilization(k.Engine.Now()) }
+
 // NewStack creates a network stack on this kernel. nic may be nil for
-// loopback-only workloads.
+// loopback-only workloads. The stack charges device DMA payload bandwidth
+// against the kernel's memory system (links + home controller).
 func (k *Kernel) NewStack(nic *netsim.NIC) *netsim.Stack {
-	return netsim.NewStack(k.MD, k.FS, nic, k.Cfg.Net())
+	return netsim.NewStack(k.MD, k.FS, nic, k.DRAM, k.Cfg.Net())
 }
 
 // NewAddressSpace creates a process address space homed on the given chip.

@@ -7,81 +7,134 @@ import (
 	"repro/internal/topo"
 )
 
-// Controller is one chip's queued memory controller: a serially shared
-// interface that moves bytes at the chip's share of the machine's DRAM
-// rate. Bulk data movement (Metis's reduce phase, super-page zeroing,
-// compiler streams) charges bytes against the controller of the chip whose
-// DRAM holds the data; when demand on one chip exceeds its rate, procs
-// queue there — and only there. This is how the §5.8 DRAM saturation
-// localizes to a node instead of dimming one machine-wide envelope.
-type Controller struct {
-	chip           int
+// rated is a serially shared hardware interface that moves bytes at a
+// fixed rate: the common queueing substance of a DRAM controller and an
+// HT link. Demand above the rate queues on the underlying sim.Resource.
+type rated struct {
 	res            *sim.Resource
 	bytesPerCycle  float64
 	bytesRequested int64
 }
 
-func newController(chip int, bytesPerSec float64) *Controller {
-	return &Controller{
-		chip:          chip,
-		res:           sim.NewResource(fmt.Sprintf("dram-chip%d", chip)),
+func newRated(name string, bytesPerSec float64) rated {
+	return rated{
+		res:           sim.NewResource(name),
 		bytesPerCycle: bytesPerSec / topo.CyclesPerSec(),
 	}
 }
 
-// Chip returns the chip this controller serves.
-func (mc *Controller) Chip() int { return mc.chip }
-
-// CyclesFor returns how many cycles moving n bytes takes at the
-// controller's full rate, without queueing (for analytic uses).
-func (mc *Controller) CyclesFor(n int64) int64 {
-	svc := int64(float64(n) / mc.bytesPerCycle)
+// CyclesFor returns how many cycles moving n bytes takes at the full
+// rate, without queueing (for analytic uses).
+func (r *rated) CyclesFor(n int64) int64 {
+	svc := int64(float64(n) / r.bytesPerCycle)
 	if svc < 1 {
 		svc = 1
 	}
 	return svc
 }
 
-// Transfer makes p wait for and then occupy this controller long enough to
+// Transfer makes p wait for and then occupy this interface long enough to
 // move n bytes. The wait does not occupy p's core: the core stalls on
 // outstanding memory requests, which the model treats like any other
 // device wait.
-func (mc *Controller) Transfer(p *sim.Proc, n int64) {
+func (r *rated) Transfer(p *sim.Proc, n int64) {
 	if n <= 0 {
 		return
 	}
-	mc.bytesRequested += n
-	mc.res.Use(p, mc.CyclesFor(n))
+	r.bytesRequested += n
+	r.res.Use(p, r.CyclesFor(n))
 }
 
-// BytesRequested returns the total bytes charged to this controller.
-func (mc *Controller) BytesRequested() int64 { return mc.bytesRequested }
+// BytesRequested returns the total bytes charged to this interface.
+func (r *rated) BytesRequested() int64 { return r.bytesRequested }
 
-// BusyCycles returns how long the controller has been occupied.
-func (mc *Controller) BusyCycles() int64 { return mc.res.BusyCycles() }
+// BusyCycles returns how long the interface has been occupied.
+func (r *rated) BusyCycles() int64 { return r.res.BusyCycles() }
+
+// Controller is one chip's queued memory controller, moving bytes at the
+// chip's share of the machine's DRAM rate. Bulk data movement (Metis's
+// reduce phase, super-page zeroing, compiler streams) charges bytes
+// against the controller of the chip whose DRAM holds the data; when
+// demand on one chip exceeds its rate, procs queue there — and only
+// there. This is how the §5.8 DRAM saturation localizes to a node instead
+// of dimming one machine-wide envelope.
+type Controller struct {
+	rated
+	chip int
+}
+
+func newController(chip int, bytesPerSec float64) *Controller {
+	return &Controller{
+		rated: newRated(fmt.Sprintf("dram-chip%d", chip), bytesPerSec),
+		chip:  chip,
+	}
+}
+
+// Chip returns the chip this controller serves.
+func (mc *Controller) Chip() int { return mc.chip }
+
+// Link is one HyperTransport link of the chip ring, modeled as a queued
+// finite-rate resource exactly like a memory controller: every cross-chip
+// transfer charges its full byte count to each link on its route, so heavy
+// striped or remote traffic contends on the paths between chips, not just
+// at the destination controller (§5.1, §5.8).
+type Link struct {
+	rated
+	id int
+}
+
+func newLink(id int, bytesPerSec float64) *Link {
+	return &Link{
+		rated: newRated(fmt.Sprintf("ht-link%d", id), bytesPerSec),
+		id:    id,
+	}
+}
+
+// ID returns the link's index in the topo ring (see topo.LinkEnds).
+func (ln *Link) ID() int { return ln.id }
 
 // Controllers is the machine's NUMA memory system: one queued controller
-// per chip. Callers route each transfer by the chip whose DRAM homes the
-// data; cross-chip transfers additionally pay HyperTransport hop latency.
+// per chip, joined by the HyperTransport link ring. Callers route each
+// transfer by the chip whose DRAM homes the data; cross-chip transfers
+// queue on every link of their route and additionally pay the
+// HyperTransport hop latency.
 type Controllers struct {
 	chips []*Controller
+	links []*Link
 }
 
 // NewControllers returns the paper machine's memory system: eight
-// controllers, each with a 1/8 share of the measured 51.5 GB/s aggregate.
+// controllers, each with a 1/8 share of the measured 51.5 GB/s aggregate,
+// joined by eight HT links at topo.HTLinkBytesPerSec each.
 func NewControllers() *Controllers {
 	return NewControllersRate(topo.DRAMMaxBytesPerSec)
 }
 
 // NewControllersRate builds per-chip controllers splitting the given
 // aggregate rate (bytes/second) evenly across chips (tests use small
-// rates).
+// rates). Link rates scale with the controller share so the
+// link:controller bandwidth ratio matches the real machine's.
 func NewControllersRate(aggregateBytesPerSec float64) *Controllers {
-	cs := &Controllers{chips: make([]*Controller, topo.Chips)}
+	cs := &Controllers{
+		chips: make([]*Controller, topo.Chips),
+		links: make([]*Link, topo.NumLinks),
+	}
+	linkScale := topo.HTLinkBytesPerSec / topo.DRAMMaxBytesPerSec
 	for i := range cs.chips {
 		cs.chips[i] = newController(i, aggregateBytesPerSec/topo.Chips)
 	}
+	for i := range cs.links {
+		cs.links[i] = newLink(i, aggregateBytesPerSec*linkScale)
+	}
 	return cs
+}
+
+// Link returns the HT link with the given topo ring index.
+func (cs *Controllers) Link(i int) *Link {
+	if i < 0 || i >= len(cs.links) {
+		panic(fmt.Sprintf("mem: link %d out of range", i))
+	}
+	return cs.links[i]
 }
 
 // Chip returns the controller serving the given chip's DRAM.
@@ -92,19 +145,46 @@ func (cs *Controllers) Chip(i int) *Controller {
 	return cs.chips[i]
 }
 
+// transferVia is the one route-charging rule: n bytes moving from chip
+// origin to the DRAM of chip home queue on every HT link along the route,
+// then on home's controller. Both CPU transfers and device DMA charge
+// through here so the rule cannot diverge between them.
+func (cs *Controllers) transferVia(p *sim.Proc, origin, home int, n int64) {
+	for _, l := range topo.Route(origin, home) {
+		cs.links[l].Transfer(p, n)
+	}
+	cs.Chip(home).Transfer(p, n)
+}
+
 // Transfer moves n bytes between the DRAM of chip home and the core
-// running p: it queues on home's controller and, when the requester sits
-// on a different chip, pays the HyperTransport hop latency on top of the
-// controller's completion. Saturating one chip's controller never slows
-// transfers homed on other chips.
+// running p: when the requester sits on a different chip, the bytes queue
+// on every HT link along the route before queueing on home's controller,
+// and the requester pays the hop latency on top of the completions.
+// Saturating one chip's controller never slows transfers homed on other
+// chips, but transfers whose routes share a link do contend there.
 func (cs *Controllers) Transfer(p *sim.Proc, home int, n int64) {
 	if n <= 0 {
 		return
 	}
-	cs.Chip(home).Transfer(p, n)
-	if hops := topo.HopDistance(p.Chip(), home); hops > 0 {
-		p.Idle(int64(hops) * topo.HTHopLatency)
+	me := p.Chip()
+	cs.transferVia(p, me, home, n)
+	if hops := topo.HopDistance(me, home); hops > 0 {
+		p.Idle(topo.HTLatency(hops))
 	}
+}
+
+// DMAWrite charges the bandwidth of a device depositing n bytes into the
+// DRAM of chip home: DMA enters the interconnect at the I/O hub's chip
+// (topo.IOHubChip) and traverses the links from there to home before
+// occupying home's controller. p is the driver proc handling the packet;
+// it waits for the landing (the driver polls the ring descriptor until the
+// payload is visible) but pays no hop latency — that cost shows up when a
+// core first touches the lines (Model.DMAWrite, the coherence-state half).
+func (cs *Controllers) DMAWrite(p *sim.Proc, home int, n int64) {
+	if n <= 0 {
+		return
+	}
+	cs.transferVia(p, topo.IOHubChip, home, n)
 }
 
 // TransferLocal moves n bytes through the controller of p's own chip — the
@@ -154,6 +234,32 @@ func (cs *Controllers) Utilization(elapsed int64) []float64 {
 	}
 	for i, mc := range cs.chips {
 		out[i] = float64(mc.res.BusyCycles()) / float64(elapsed)
+	}
+	return out
+}
+
+// LinkBytesRequested returns the total bytes charged across all HT links.
+// A transfer over h hops contributes h times its byte count, once per link
+// it crosses.
+func (cs *Controllers) LinkBytesRequested() int64 {
+	var t int64
+	for _, ln := range cs.links {
+		t += ln.bytesRequested
+	}
+	return t
+}
+
+// LinkUtilization returns each HT link's busy fraction over the first
+// `elapsed` cycles of the run. The busiest link pinned at ~1.0 while
+// controllers idle is interconnect saturation — the §5.1/§5.8 effect the
+// link layer exists to show.
+func (cs *Controllers) LinkUtilization(elapsed int64) []float64 {
+	out := make([]float64, len(cs.links))
+	if elapsed <= 0 {
+		return out
+	}
+	for i, ln := range cs.links {
+		out[i] = float64(ln.res.BusyCycles()) / float64(elapsed)
 	}
 	return out
 }

@@ -84,7 +84,7 @@ func TestPerChipSaturationLeavesOtherChipsAlone(t *testing.T) {
 	}
 }
 
-func TestCrossChipTransferPaysHopLatency(t *testing.T) {
+func TestCrossChipTransferPaysLinksAndHopLatency(t *testing.T) {
 	cs := NewControllers()
 	e := sim.NewEngine(topo.New(1), 1)
 	n := int64(1 << 20)
@@ -98,9 +98,14 @@ func TestCrossChipTransferPaysHopLatency(t *testing.T) {
 		far = p.Now() - start
 	})
 	e.Run()
-	want := local + int64(topo.MaxHops)*topo.HTHopLatency
+	// The far transfer serially occupies each of the four links on its
+	// route, then the remote controller, then pays the hop latency.
+	want := local + topo.HTLatency(topo.MaxHops)
+	for _, l := range topo.Route(0, topo.MaxHops) {
+		want += cs.Link(l).CyclesFor(n)
+	}
 	if far != want {
-		t.Errorf("far transfer took %d cycles, want %d (local %d + %d hops)",
+		t.Errorf("far transfer took %d cycles, want %d (local %d + links + %d hops latency)",
 			far, want, local, topo.MaxHops)
 	}
 }
@@ -123,6 +128,197 @@ func TestTransferStripedTouchesEveryController(t *testing.T) {
 	}
 	if total != n {
 		t.Errorf("striped transfer moved %d bytes in total, want %d", total, n)
+	}
+}
+
+// TestZeroHopTransferChargesNoLink pins the link layer's base property: a
+// transfer homed on the requester's own chip never touches the
+// interconnect.
+func TestZeroHopTransferChargesNoLink(t *testing.T) {
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(48), 1)
+	for c := 0; c < 48; c++ {
+		e.Spawn(c, "local", 0, func(p *sim.Proc) {
+			cs.TransferLocal(p, 1<<20)
+			cs.Transfer(p, p.Chip(), 1<<20)
+		})
+	}
+	e.Run()
+	if got := cs.LinkBytesRequested(); got != 0 {
+		t.Errorf("local transfers charged %d link bytes, want 0", got)
+	}
+	for l := 0; l < topo.NumLinks; l++ {
+		if b := cs.Link(l).BytesRequested(); b != 0 {
+			t.Errorf("link %d carried %d bytes from local transfers", l, b)
+		}
+	}
+}
+
+// TestLinkBytesEqualBytesTimesHops pins the charging rule: a transfer of n
+// bytes over an h-hop route adds exactly n to each of the h links on the
+// route, so total link bytes are n*h.
+func TestLinkBytesEqualBytesTimesHops(t *testing.T) {
+	for from := 0; from < topo.Chips; from++ {
+		for home := 0; home < topo.Chips; home++ {
+			cs := NewControllers()
+			e := sim.NewEngine(topo.NewRR(topo.Chips), 1) // core i on chip i
+			n := int64(1<<20 + 17)
+			e.Spawn(from, "p", 0, func(p *sim.Proc) {
+				cs.Transfer(p, home, n)
+			})
+			e.Run()
+			hops := topo.HopDistance(from, home)
+			if got, want := cs.LinkBytesRequested(), n*int64(hops); got != want {
+				t.Errorf("%d->%d: link bytes %d, want %d (n x %d hops)", from, home, got, want, hops)
+			}
+			for _, l := range topo.Route(from, home) {
+				if b := cs.Link(l).BytesRequested(); b != n {
+					t.Errorf("%d->%d: on-route link %d carried %d bytes, want %d", from, home, l, b, n)
+				}
+			}
+		}
+	}
+}
+
+// TestTransferStripedMatchesSequentialTransfers extends the batch-vs-
+// sequential equivalence contract to the link layer: one striped transfer
+// must cost the same cycles and charge the same per-link and per-chip
+// bytes as the equivalent per-chip Transfer calls issued one at a time.
+func TestTransferStripedMatchesSequentialTransfers(t *testing.T) {
+	n := int64(topo.Chips*4096 + 13)
+	run := func(f func(cs *Controllers, p *sim.Proc)) (*Controllers, int64) {
+		cs := NewControllers()
+		e := sim.NewEngine(topo.New(48), 1)
+		var end int64
+		e.Spawn(20, "p", 0, func(p *sim.Proc) { // core 20 = chip 3
+			f(cs, p)
+			end = p.Now()
+		})
+		e.Run()
+		return cs, end
+	}
+	csA, endA := run(func(cs *Controllers, p *sim.Proc) {
+		cs.TransferStriped(p, n)
+	})
+	csB, endB := run(func(cs *Controllers, p *sim.Proc) {
+		// The documented striped layout: equal slices per chip starting at
+		// the local chip, remainder landing locally.
+		slice := n / int64(topo.Chips)
+		rem := n - slice*int64(topo.Chips)
+		me := p.Chip()
+		for i := 0; i < topo.Chips; i++ {
+			bytes := slice
+			if i == 0 {
+				bytes += rem
+			}
+			cs.Transfer(p, (me+i)%topo.Chips, bytes)
+		}
+	})
+	if endA != endB {
+		t.Errorf("striped transfer took %d cycles, sequential equivalent %d", endA, endB)
+	}
+	for chip := 0; chip < topo.Chips; chip++ {
+		if a, b := csA.Chip(chip).BytesRequested(), csB.Chip(chip).BytesRequested(); a != b {
+			t.Errorf("chip %d: striped charged %d bytes, sequential %d", chip, a, b)
+		}
+	}
+	for l := 0; l < topo.NumLinks; l++ {
+		if a, b := csA.Link(l).BytesRequested(), csB.Link(l).BytesRequested(); a != b {
+			t.Errorf("link %d: striped charged %d bytes, sequential %d", l, a, b)
+		}
+	}
+}
+
+// TestDMAWriteChargesRouteFromHub verifies device DMA enters at the I/O
+// hub chip and charges the links from there to the buffer's home.
+func TestDMAWriteChargesRouteFromHub(t *testing.T) {
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(48), 1)
+	home := 3
+	n := int64(1 << 16)
+	e.Spawn(47, "driver", 0, func(p *sim.Proc) { // driver core far from the hub
+		cs.DMAWrite(p, home, n)
+	})
+	e.Run()
+	route := topo.Route(topo.IOHubChip, home)
+	if got, want := cs.LinkBytesRequested(), n*int64(len(route)); got != want {
+		t.Errorf("DMA charged %d link bytes, want %d (route %v from hub)", got, want, route)
+	}
+	for _, l := range route {
+		if b := cs.Link(l).BytesRequested(); b != n {
+			t.Errorf("hub-route link %d carried %d bytes, want %d", l, b, n)
+		}
+	}
+	if b := cs.Chip(home).BytesRequested(); b != n {
+		t.Errorf("home controller received %d bytes, want %d", b, n)
+	}
+	// Zero-hop DMA (buffer homed on the hub chip) charges no link.
+	cs2 := NewControllers()
+	e2 := sim.NewEngine(topo.New(1), 1)
+	e2.Spawn(0, "driver", 0, func(p *sim.Proc) { cs2.DMAWrite(p, topo.IOHubChip, n) })
+	e2.Run()
+	if got := cs2.LinkBytesRequested(); got != 0 {
+		t.Errorf("hub-homed DMA charged %d link bytes, want 0", got)
+	}
+}
+
+func TestPlacementParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Placement
+	}{
+		{"", Placement{}},
+		{"local", Placement{}},
+		{"striped", Placement{Kind: PlaceStriped}},
+		{"remote", PlacementHome(0)},
+		{"home:5", PlacementHome(5)},
+	}
+	for _, c := range cases {
+		got, err := ParsePlacement(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"nope", "home:", "home:8", "home:-1", "home:x"} {
+		if _, err := ParsePlacement(bad); err == nil {
+			t.Errorf("ParsePlacement(%q) did not error", bad)
+		}
+	}
+	for _, pl := range []Placement{{}, {Kind: PlaceStriped}, PlacementHome(6)} {
+		back, err := ParsePlacement(pl.String())
+		if err != nil || back != pl {
+			t.Errorf("round trip %v -> %q -> %v, %v", pl, pl.String(), back, err)
+		}
+	}
+}
+
+// TestTransferPlacedDispatch checks each policy routes bytes where its
+// Transfer variant would.
+func TestTransferPlacedDispatch(t *testing.T) {
+	run := func(pl Placement) *Controllers {
+		cs := NewControllers()
+		e := sim.NewEngine(topo.New(48), 1)
+		e.Spawn(10, "p", 0, func(p *sim.Proc) { // chip 1
+			cs.TransferPlaced(p, pl, 1<<20)
+		})
+		e.Run()
+		return cs
+	}
+	if cs := run(Placement{}); cs.Chip(1).BytesRequested() != 1<<20 || cs.LinkBytesRequested() != 0 {
+		t.Error("local placement should charge only the local chip")
+	}
+	cs := run(Placement{Kind: PlaceStriped})
+	for chip := 0; chip < topo.Chips; chip++ {
+		if cs.Chip(chip).BytesRequested() == 0 {
+			t.Errorf("striped placement left chip %d idle", chip)
+		}
+	}
+	cs = run(PlacementHome(6))
+	if cs.Chip(6).BytesRequested() != 1<<20 {
+		t.Error("home placement should charge the explicit home chip")
+	}
+	if got, want := cs.LinkBytesRequested(), int64(1<<20)*int64(topo.HopDistance(1, 6)); got != want {
+		t.Errorf("home placement charged %d link bytes, want %d", got, want)
 	}
 }
 

@@ -28,7 +28,7 @@ func newStack(cores int, cfg Config, nic *NIC) (*sim.Engine, *Stack) {
 		InodeListAvoidLock:  cfg.ParallelAccept, // PK presets move together
 		DcacheListAvoidLock: cfg.ParallelAccept,
 	})
-	return sim.NewEngine(m, 1), NewStack(md, fs, nic, cfg)
+	return sim.NewEngine(m, 1), NewStack(md, fs, nic, nil, cfg)
 }
 
 func TestNICQueueDecline(t *testing.T) {

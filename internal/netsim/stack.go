@@ -42,10 +42,11 @@ const (
 
 // Stack is one machine's network stack instance.
 type Stack struct {
-	cfg Config
-	md  *mem.Model
-	fs  *vfs.FS
-	nic *NIC // nil for loopback-only use (Exim)
+	cfg  Config
+	md   *mem.Model
+	fs   *vfs.FS
+	nic  *NIC             // nil for loopback-only use (Exim)
+	dram *mem.Controllers // nil to skip DMA payload bandwidth charging
 
 	skb      *SkbPool
 	dst      scount.Counter // the hot route's dst_entry refcount
@@ -97,9 +98,10 @@ func (nd *netDev) packetTouch(p *sim.Proc) int64 {
 }
 
 // NewStack builds a stack. fs provides socket (anonymous) inodes; nic may
-// be nil when all traffic is loopback.
-func NewStack(md *mem.Model, fs *vfs.FS, nic *NIC, cfg Config) *Stack {
-	s := &Stack{cfg: cfg, md: md, fs: fs, nic: nic}
+// be nil when all traffic is loopback. dram, if non-nil, is the NUMA
+// memory system the card's DMA payload bandwidth is charged against.
+func NewStack(md *mem.Model, fs *vfs.FS, nic *NIC, dram *mem.Controllers, cfg Config) *Stack {
+	s := &Stack{cfg: cfg, md: md, fs: fs, nic: nic, dram: dram}
 	s.skb = newSkbPool(md, cfg.LocalDMABuf)
 	if cfg.SloppyDstRef {
 		s.dst = scount.NewSloppy(md, 0)
@@ -129,6 +131,17 @@ func (s *Stack) SkbPool() *SkbPool { return s.skb }
 func (s *Stack) rxPacket(p *sim.Proc, n int64) {
 	if s.nic != nil {
 		s.nic.Transfer(p, 1)
+		if s.dram != nil {
+			// The card DMAs the payload from the I/O hub into the
+			// buffer's home DRAM: node 0 for the stock shared pools, the
+			// driver core's own chip with per-core pools. The bytes
+			// occupy every HT link between the hub and that chip.
+			home := 0
+			if s.cfg.LocalDMABuf {
+				home = p.Chip()
+			}
+			s.dram.DMAWrite(p, home, n)
+		}
 	}
 	s.skb.Get(p)
 	s.skb.DMARecv(p)

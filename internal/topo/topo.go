@@ -123,9 +123,24 @@ func (m *Machine) CoresOnChip(chip int) int {
 // under the ring metric below.
 const MaxHops = Chips / 2
 
-// HTHopLatency is the added latency of one HyperTransport hop, derived
-// from the paper's DRAM latency spread: (503-122)/4 ≈ 95 cycles per hop.
-const HTHopLatency = (LatDRAMFar - LatDRAMLocal) / MaxHops
+// HT interconnect parameters.
+const (
+	// NumLinks is the number of HyperTransport links in the ring: link l
+	// joins chip l and chip (l+1) mod Chips.
+	NumLinks = Chips
+	// HTLinkBytesPerSec is the effective payload bandwidth of one
+	// HyperTransport link between adjacent chips: a 16-bit link at HT
+	// speeds delivers ~4 GB/s of usable data per direction after protocol
+	// overhead. The eight-link ring therefore tops out at 32 GB/s of
+	// aggregate cross-chip traffic — below the 51.5 GB/s the eight DRAM
+	// controllers can serve, which is why placement that forces traffic
+	// onto the interconnect saturates links while controllers sit idle.
+	HTLinkBytesPerSec = 4 * (1 << 30)
+	// IOHubChip is the chip the I/O hub (and its NICs) hangs off: device
+	// DMA enters the interconnect at chip 0 and traverses the links to
+	// the buffer's home chip.
+	IOHubChip = 0
+)
 
 // HopDistance returns the number of HyperTransport hops between two chips.
 // The eight chips form a twisted ladder; we approximate the distance with a
@@ -142,13 +157,74 @@ func HopDistance(a, b int) int {
 	return d
 }
 
+// HTLatency returns the interconnect latency of traversing h HyperTransport
+// hops, derived from the paper's DRAM latency spread: the farthest chip (4
+// hops) adds 503-122 = 381 cycles over local. Multiply before dividing: the
+// spread does not divide evenly by MaxHops, and the 4-hop endpoint must
+// land exactly on LatDRAMFar-LatDRAMLocal. This is the single
+// interpolation point shared by DRAMLatency and the memory system's
+// cross-chip transfer charging.
+func HTLatency(h int) int64 {
+	return int64(h) * (LatDRAMFar - LatDRAMLocal) / MaxHops
+}
+
 // DRAMLatency returns the cycle cost for a core on chip `from` to read a
 // line homed in the DRAM of chip `home`. Latency grows linearly with hop
 // count from the local 122 cycles to the 4-hop 503 cycles.
 func DRAMLatency(from, home int) int64 {
-	// Multiply before dividing: the spread does not divide evenly by
-	// MaxHops, and the 4-hop endpoint must land exactly on LatDRAMFar.
-	return LatDRAMLocal + int64(HopDistance(from, home))*(LatDRAMFar-LatDRAMLocal)/MaxHops
+	return LatDRAMLocal + HTLatency(HopDistance(from, home))
+}
+
+// LinkEnds returns the two chips link l joins.
+func LinkEnds(l int) (a, b int) {
+	if l < 0 || l >= NumLinks {
+		panic(fmt.Sprintf("topo: link %d out of range [0,%d)", l, NumLinks))
+	}
+	return l, (l + 1) % Chips
+}
+
+// routes[a][b] is the precomputed link path from chip a to chip b.
+var routes [Chips][Chips][]int
+
+func init() {
+	for a := 0; a < Chips; a++ {
+		for b := 0; b < Chips; b++ {
+			routes[a][b] = buildRoute(a, b)
+		}
+	}
+}
+
+func buildRoute(a, b int) []int {
+	if a == b {
+		return nil
+	}
+	up := (b - a + Chips) % Chips
+	if up <= Chips-up {
+		// Increasing-chip direction; the 4-hop antipode tie also routes
+		// this way, keeping path selection deterministic.
+		r := make([]int, 0, up)
+		for c := a; c != b; c = (c + 1) % Chips {
+			r = append(r, c) // link c joins chips c and c+1
+		}
+		return r
+	}
+	r := make([]int, 0, Chips-up)
+	for c := a; c != b; c = (c - 1 + Chips) % Chips {
+		r = append(r, (c-1+Chips)%Chips)
+	}
+	return r
+}
+
+// Route returns the link indices on the deterministic shortest
+// HyperTransport path from chip a to chip b, in traversal order. The route
+// is empty for a == b, its length always equals HopDistance(a, b), and the
+// antipodal (4-hop) tie is broken toward increasing chip numbers. Callers
+// must not mutate the returned slice.
+func Route(a, b int) []int {
+	if a < 0 || a >= Chips || b < 0 || b >= Chips {
+		panic(fmt.Sprintf("topo: route %d->%d out of range [0,%d)", a, b, Chips))
+	}
+	return routes[a][b]
 }
 
 // RemoteCacheLatency returns the cycle cost for a core on chip `from` to

@@ -101,6 +101,81 @@ func TestDRAMLatencySymmetricAndMonotonic(t *testing.T) {
 	}
 }
 
+// TestHTLatencyTableAllChipPairs pins the unified interpolation helper
+// over every one of the 8x8 chip pairs: DRAMLatency must equal the local
+// latency plus HTLatency of the pair's hop distance, and HTLatency itself
+// must hit the per-hop table derived from the paper's 122..503 cycle
+// spread (multiply-before-divide, so the 4-hop endpoint lands exactly on
+// LatDRAMFar).
+func TestHTLatencyTableAllChipPairs(t *testing.T) {
+	wantByHops := [MaxHops + 1]int64{0, 95, 190, 285, 381}
+	for h := 0; h <= MaxHops; h++ {
+		if got := HTLatency(h); got != wantByHops[h] {
+			t.Errorf("HTLatency(%d) = %d, want %d", h, got, wantByHops[h])
+		}
+	}
+	for a := 0; a < Chips; a++ {
+		for b := 0; b < Chips; b++ {
+			hops := HopDistance(a, b)
+			want := int64(LatDRAMLocal) + wantByHops[hops]
+			if got := DRAMLatency(a, b); got != want {
+				t.Errorf("DRAMLatency(%d,%d) = %d, want %d (%d hops)", a, b, got, want, hops)
+			}
+		}
+	}
+	if got := DRAMLatency(0, MaxHops); got != LatDRAMFar {
+		t.Errorf("4-hop endpoint = %d, must land exactly on LatDRAMFar %d", got, LatDRAMFar)
+	}
+}
+
+// TestRouteAllChipPairs checks the link-graph invariants for every chip
+// pair: the route's length equals the hop distance, consecutive links
+// actually join up into a path from a to b, and the route is empty only
+// for a == b.
+func TestRouteAllChipPairs(t *testing.T) {
+	for a := 0; a < Chips; a++ {
+		for b := 0; b < Chips; b++ {
+			r := Route(a, b)
+			if len(r) != HopDistance(a, b) {
+				t.Errorf("len(Route(%d,%d)) = %d, want hop distance %d", a, b, len(r), HopDistance(a, b))
+				continue
+			}
+			// Walk the route: each link must join the current chip to the
+			// next one, ending at b.
+			at := a
+			for _, l := range r {
+				x, y := LinkEnds(l)
+				switch at {
+				case x:
+					at = y
+				case y:
+					at = x
+				default:
+					t.Fatalf("Route(%d,%d): link %d joins (%d,%d), not current chip %d", a, b, l, x, y, at)
+				}
+			}
+			if at != b {
+				t.Errorf("Route(%d,%d) ends at chip %d", a, b, at)
+			}
+		}
+	}
+}
+
+// TestRouteAntipodeDeterministic pins the tie-break: 4-hop routes go in
+// the increasing-chip direction.
+func TestRouteAntipodeDeterministic(t *testing.T) {
+	want := []int{0, 1, 2, 3}
+	got := Route(0, 4)
+	if len(got) != len(want) {
+		t.Fatalf("Route(0,4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Route(0,4) = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestRemoteCacheLatency(t *testing.T) {
 	if got := RemoteCacheLatency(2, 2); got != LatL3 {
 		t.Errorf("same-chip remote cache latency = %d, want L3 %d", got, LatL3)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/topo"
 )
 
@@ -25,6 +26,9 @@ type AppResult struct {
 	// DRAMUtil is each chip's memory-controller busy fraction during the
 	// run (nil for workloads that stream no bulk data).
 	DRAMUtil []float64
+	// LinkUtil is each HyperTransport link's busy fraction during the
+	// run (nil for workloads that stream no bulk data).
+	LinkUtil []float64
 }
 
 func toAppResult(r apps.Result) AppResult {
@@ -37,6 +41,7 @@ func toAppResult(r apps.Result) AppResult {
 		SysMicros:      r.SysMicrosPerOp(),
 		KernelFraction: r.KernelFraction(),
 		DRAMUtil:       r.DRAMUtil,
+		LinkUtil:       r.LinkUtil,
 	}
 }
 
@@ -126,7 +131,10 @@ type MetisConfig struct {
 	SuperPages bool
 	// InputBytes is the input size (0 = default).
 	InputBytes int64
-	Seed       uint64
+	// Placement homes the reduce phase's table stream: "local"
+	// (default), "striped", "remote", or "home:N".
+	Placement string
+	Seed      uint64
 }
 
 // RunMetis runs the Metis inverted-index workload.
@@ -140,5 +148,10 @@ func RunMetis(cfg MetisConfig) (AppResult, error) {
 	if cfg.InputBytes > 0 {
 		opts.InputBytes = cfg.InputBytes
 	}
+	pl, err := mem.ParsePlacement(cfg.Placement)
+	if err != nil {
+		return AppResult{}, err
+	}
+	opts.Placement = pl
 	return toAppResult(apps.RunMetis(k, opts)), nil
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/harness"
+	"repro/internal/mem"
 )
 
 // Options controls a run.
@@ -31,6 +32,10 @@ type Options struct {
 	// points. Results are identical either way; serial mode exists for
 	// debugging and for pinning the harness to one OS thread.
 	Serial bool
+	// Placement selects the bulk-data placement policy for workloads
+	// that stream through the memory system (Metis, pedsort, gmake,
+	// PostgreSQL): "local" (default), "striped", "remote", or "home:N".
+	Placement string
 }
 
 // Point is one measurement.
@@ -42,6 +47,9 @@ type Point struct {
 	// DRAMUtil is each chip's memory-controller busy fraction during the
 	// run (nil for workloads that stream no bulk data).
 	DRAMUtil []float64
+	// LinkUtil is each HyperTransport link's busy fraction during the
+	// run (nil for workloads that stream no bulk data).
+	LinkUtil []float64
 }
 
 // Series is the result of one experiment.
@@ -93,13 +101,20 @@ func Run(id string, o Options) (*Series, error) {
 	if e == nil {
 		return nil, fmt.Errorf("mosbench: unknown experiment %q (use Experiments())", id)
 	}
-	hs := e.Run(harness.Options{Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial})
+	pl, err := mem.ParsePlacement(o.Placement)
+	if err != nil {
+		return nil, err
+	}
+	hs := e.Run(harness.Options{
+		Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial,
+		Placement: pl,
+	})
 	s := &Series{ID: hs.ID, Title: hs.Title, Unit: hs.Unit, Notes: hs.Notes, inner: hs}
 	for _, p := range hs.Points {
 		s.Point = append(s.Point, Point{
 			Cores: p.Cores, Variant: p.Variant, PerCore: p.PerCore,
 			UserMicros: p.UserMicros, SysMicros: p.SysMicros,
-			DRAMUtil: p.DRAMUtil,
+			DRAMUtil: p.DRAMUtil, LinkUtil: p.LinkUtil,
 		})
 	}
 	return s, nil
