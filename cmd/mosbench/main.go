@@ -10,6 +10,8 @@
 //	mosbench -experiment fig11 -cores 1..48   (the paper's full x-axis)
 //	mosbench -experiment ht -placement striped
 //	mosbench -all -quick
+//	mosbench -all -cores 1..48 -cache ./sweepcache   (second run: all hits)
+//	mosbench -benchjson BENCH_sweep.json
 package main
 
 import (
@@ -24,48 +26,91 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("experiment", "", "experiment ID to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		cores  = flag.String("cores", "", "core counts: comma-separated values and lo..hi ranges, e.g. 1,8,48 or 1..48 (default: standard sweep)")
-		quick  = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
-		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
-		seed   = flag.Uint64("seed", 1, "deterministic PRNG seed")
-		serial = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
-		place  = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		cores   = flag.String("cores", "", "core counts: comma-separated values and lo..hi ranges, e.g. 1,8,48 or 1..48 (default: standard sweep)")
+		quick   = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		seed    = flag.Uint64("seed", 1, "deterministic PRNG seed")
+		serial  = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
+		place   = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
+		cache   = flag.String("cache", "", "directory for the on-disk sweep-point cache: repeated grid runs are served without simulating")
+		verbose = flag.Bool("verbose", false, "report cache hit/miss counters after the run (requires -cache)")
+		bench   = flag.String("benchjson", "", "write simulator microbenchmarks (engine dispatch, handoff, sweep wall-clock) as JSON to this path and exit")
 	)
 	flag.Parse()
 
-	switch {
-	case *list:
-		for _, e := range mosbench.Experiments() {
-			fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Paper)
-		}
-	case *all:
-		for _, e := range mosbench.Experiments() {
-			if err := runOne(e.ID, *cores, *quick, *csv, *serial, *seed, *place); err != nil {
-				fatal(err)
-			}
-		}
-	case *exp != "":
-		if err := runOne(*exp, *cores, *quick, *csv, *serial, *seed, *place); err != nil {
+	if *bench != "" {
+		results, err := mosbench.WriteBenchJSON(*bench)
+		if err != nil {
 			fatal(err)
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+		for _, r := range results {
+			fmt.Printf("%-28s %14.1f ns/op  (%d ops)\n", r.Name, r.NsPerOp, r.Ops)
+		}
+		fmt.Printf("wrote %s\n", *bench)
+		return
 	}
-}
 
-func runOne(id, coresFlag string, quick, csv, serial bool, seed uint64, placement string) error {
-	o := mosbench.Options{Quick: quick, Seed: seed, Serial: serial, Placement: placement}
-	if coresFlag != "" {
-		cs, err := parseCores(coresFlag)
+	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place}
+	if *cores != "" {
+		cs, err := parseCores(*cores)
 		if err != nil {
-			return err
+			fatal(err)
 		}
 		o.Cores = cs
 	}
+	if *cache != "" {
+		c, err := mosbench.OpenCache(*cache)
+		if err != nil {
+			fatal(err)
+		}
+		o.Cache = c
+	}
+
+	runErr := func() error {
+		switch {
+		case *list:
+			for _, e := range mosbench.Experiments() {
+				fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Paper)
+			}
+		case *all:
+			for _, e := range mosbench.Experiments() {
+				if err := runOne(e.ID, o, *csv); err != nil {
+					return err
+				}
+			}
+		case *exp != "":
+			return runOne(*exp, o, *csv)
+		default:
+			flag.Usage()
+			os.Exit(2)
+		}
+		return nil
+	}()
+
+	// Save the cache even when a run failed partway: the points computed
+	// before the failure are exactly what the cache exists to preserve.
+	if o.Cache != nil {
+		if err := o.Cache.Save(); err != nil {
+			if runErr == nil {
+				runErr = err
+			} else {
+				fmt.Fprintln(os.Stderr, "mosbench: cache save:", err)
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points stored (%s)\n",
+				o.Cache.Hits(), o.Cache.Misses(), o.Cache.Len(), *cache)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func runOne(id string, o mosbench.Options, csv bool) error {
 	s, err := mosbench.Run(id, o)
 	if err != nil {
 		return err

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// engineSlot owns one reusable simulation engine for a sweep worker. Each
+// point the worker runs resets the engine (ResetFor handles the changing
+// core count) instead of building a new one, so the engine's parked proc
+// goroutines, core arrays, and heap storage carry across the whole grid.
+type engineSlot struct {
+	eng *sim.Engine
+}
+
+// engine returns the slot's engine, reset for the given machine and seed.
+func (s *engineSlot) engine(m *topo.Machine, seed uint64) *sim.Engine {
+	if s.eng == nil {
+		s.eng = sim.NewPooledEngine(m, seed)
+	} else {
+		s.eng.ResetFor(m, seed)
+	}
+	return s.eng
+}
+
+// engineArena is the process-wide sync.Pool-style arena the sweep workers
+// draw engine slots from: a 48-point x N-variant grid reuses at most
+// GOMAXPROCS engines in total. Unlike a real sync.Pool the arena never
+// lets the GC drop a slot silently — an engine holds parked goroutines, so
+// slots beyond the cap are Closed explicitly when returned.
+type engineArena struct {
+	mu   sync.Mutex
+	free []*engineSlot
+}
+
+var arena engineArena
+
+func (a *engineArena) get() *engineSlot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free = a.free[:n-1]
+		return s
+	}
+	return &engineSlot{}
+}
+
+func (a *engineArena) put(s *engineSlot) {
+	a.mu.Lock()
+	if len(a.free) < runtime.GOMAXPROCS(0) {
+		a.free = append(a.free, s)
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	if s.eng != nil {
+		s.eng.Close()
+	}
+}
+
+// newEngine returns the engine for one sweep point: the calling worker's
+// pooled engine (reset to the machine and the run's seed) when the arena
+// is active, or a fresh engine when it is not (Options.FreshEngines, or a
+// caller outside parallelMap).
+func (o Options) newEngine(m *topo.Machine) *sim.Engine {
+	if o.FreshEngines || o.slot == nil {
+		return sim.NewEngine(m, o.seed())
+	}
+	return o.slot.engine(m, o.seed())
+}
+
+// newKernel boots a kernel for one sweep point on o.newEngine's engine.
+func (o Options) newKernel(m *topo.Machine, cfg kernel.Config) *kernel.Kernel {
+	return kernel.NewOnEngine(o.newEngine(m), cfg)
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+)
+
+// cacheVersion is bumped whenever the meaning of cached values changes
+// without the Point struct changing shape (e.g. a cost-model retune that
+// should invalidate old results).
+const cacheVersion = 1
+
+// cacheSchema fingerprints the cache's value type and key format: the
+// version plus every Point field name and type. A cache file written under
+// a different schema self-invalidates on load, so refactors of Point can
+// never resurface stale entries.
+var cacheSchema = func() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|key=exp|variant|cores|seed|quick|placement|", cacheVersion)
+	t := reflect.TypeOf(Point{})
+	for i := 0; i < t.NumField(); i++ {
+		fmt.Fprintf(h, "%s %s|", t.Field(i).Name, t.Field(i).Type)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}()
+
+// cacheFileName is the single JSON file a cache directory holds.
+const cacheFileName = "points.json"
+
+// cacheFile is the on-disk representation.
+type cacheFile struct {
+	Schema string           `json:"schema"`
+	Points map[string]Point `json:"points"`
+}
+
+// Cache is a content-addressed store of sweep points keyed by
+// (experiment, variant, cores, seed, quick, placement). A warm cache lets
+// a repeated full-grid run skip simulation entirely: every measurement the
+// harness would compute is looked up first and stored on miss. The cache
+// is safe for the concurrent sweep workers; Save writes it back to disk.
+type Cache struct {
+	path string
+
+	mu     sync.Mutex
+	points map[string]Point
+	hits   int64
+	misses int64
+	dirty  bool
+}
+
+// OpenCache opens (creating if needed) the point cache in dir. A cache
+// file written by a different schema version is ignored, so stale entries
+// self-invalidate after refactors.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: cache dir: %w", err)
+	}
+	c := &Cache{
+		path:   filepath.Join(dir, cacheFileName),
+		points: map[string]Point{},
+	}
+	data, err := os.ReadFile(c.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, fmt.Errorf("harness: cache read: %w", err)
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Schema != cacheSchema {
+		// Unparsable or stale-schema caches start over empty.
+		return c, nil
+	}
+	if f.Points != nil {
+		c.points = f.Points
+	}
+	return c, nil
+}
+
+// Save writes the cache back to its directory (atomically: temp file +
+// rename). Saving an unchanged cache is a no-op.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.MarshalIndent(cacheFile{Schema: cacheSchema, Points: c.points}, "", " ")
+	if err != nil {
+		return fmt.Errorf("harness: cache encode: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("harness: cache rename: %w", err)
+	}
+	c.dirty = false
+	return nil
+}
+
+// Hits returns how many lookups were served from the cache.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns how many lookups fell through to simulation.
+func (c *Cache) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Len returns the number of cached points.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points)
+}
+
+func (c *Cache) lookup(key string) (Point, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.points[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+func (c *Cache) store(key string, p Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.points[key] = p
+	c.dirty = true
+}
+
+// cacheKey addresses one measurement. Everything a point's value depends
+// on must appear here: the experiment, the variant label, the core count,
+// and the run options that change simulated behavior (seed, quick
+// budgets, global placement policy).
+func (o Options) cacheKey(exp, variant string, cores int) string {
+	return fmt.Sprintf("%s|%s|%d|seed=%d|quick=%t|placement=%s",
+		exp, variant, cores, o.seed(), o.Quick, o.Placement.String())
+}
+
+// cachedPoint returns the cached measurement for (exp, variant, cores)
+// under o, or computes it with f and stores it. With no cache attached it
+// just runs f.
+func (o Options) cachedPoint(exp, variant string, cores int, f func() Point) Point {
+	if o.Cache == nil {
+		return f()
+	}
+	key := o.cacheKey(exp, variant, cores)
+	if p, ok := o.Cache.lookup(key); ok {
+		return p
+	}
+	p := f()
+	o.Cache.store(key, p)
+	return p
+}

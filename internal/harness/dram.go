@@ -43,7 +43,7 @@ var placementVariants = []struct {
 func runPlacementPoint(o Options, pl mem.Placement, cores int, streamBytes int64) Point {
 	const chunks = 8
 	m := topo.New(cores)
-	e := sim.NewEngine(m, o.seed())
+	e := o.newEngine(m)
 	cs := mem.NewControllers()
 	for c := 0; c < cores; c++ {
 		e.Spawn(c, fmt.Sprintf("stream-%d", c), 0, func(p *sim.Proc) {
@@ -72,14 +72,14 @@ func runPlacementSweep(o Options, id, title string, notes []string) *Series {
 	if o.Quick {
 		streamBytes >>= 2
 	}
-	var runs []func(int) Point
+	var runs []variantRun
 	for _, v := range placementVariants {
 		v := v
-		runs = append(runs, func(c int) Point {
+		runs = append(runs, variantRun{v.name, func(c int, o Options) Point {
 			p := runPlacementPoint(o, v.pl, c, streamBytes)
 			p.Variant = v.name
 			return p
-		})
+		}})
 	}
 	o.runGrid(s, runs)
 	s.Notes = append(s.Notes, notes...)

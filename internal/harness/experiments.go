@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/topo"
 )
 
@@ -34,23 +35,26 @@ func point(r apps.Result, variant string, perCoreScale float64) Point {
 }
 
 // ---- Application runners shared by fig3..fig11 ----
+//
+// Every runner boots its kernel through o.newKernel, so a sweep worker's
+// pooled engine is reused point to point instead of being rebuilt.
 
 func runExim(cfg kernel.Config, cores int, o Options) apps.Result {
-	k := kernel.New(topo.New(cores), cfg, o.seed())
+	k := o.newKernel(topo.New(cores), cfg)
 	opts := apps.DefaultEximOpts()
 	opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
 	return RunTagged(apps.RunExim(k, opts))
 }
 
 func runMemcached(cfg kernel.Config, cores int, o Options) apps.Result {
-	k := kernel.New(topo.New(cores), cfg, o.seed())
+	k := o.newKernel(topo.New(cores), cfg)
 	opts := apps.DefaultMemcachedOpts()
 	opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
 	return RunTagged(apps.RunMemcached(k, opts))
 }
 
 func runApache(cfg kernel.Config, cores int, single bool, o Options) apps.Result {
-	k := kernel.New(topo.New(cores), cfg, o.seed())
+	k := o.newKernel(topo.New(cores), cfg)
 	opts := apps.DefaultApacheOpts()
 	opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
 	opts.SingleInstance = single
@@ -58,7 +62,7 @@ func runApache(cfg kernel.Config, cores int, single bool, o Options) apps.Result
 }
 
 func runPostgres(cfg kernel.Config, cores int, writeFrac float64, mod bool, o Options) apps.Result {
-	k := kernel.New(topo.New(cores), cfg, o.seed())
+	k := o.newKernel(topo.New(cores), cfg)
 	opts := apps.DefaultPostgresOpts()
 	opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 	opts.WriteFraction = writeFrac
@@ -68,7 +72,7 @@ func runPostgres(cfg kernel.Config, cores int, writeFrac float64, mod bool, o Op
 }
 
 func runGmake(cfg kernel.Config, cores int, o Options) apps.Result {
-	k := kernel.New(topo.New(cores), cfg, o.seed())
+	k := o.newKernel(topo.New(cores), cfg)
 	opts := apps.DefaultGmakeOpts()
 	opts.Objects = scale(opts.Objects, o.Quick)
 	opts.Placement = o.Placement
@@ -80,7 +84,7 @@ func runPedsort(mode apps.PedsortMode, cores int, o Options) apps.Result {
 	if mode == apps.PedsortProcsRR {
 		m = topo.NewRR(cores)
 	}
-	k := kernel.New(m, kernel.Stock(), o.seed())
+	k := o.newKernel(m, kernel.Stock())
 	opts := apps.DefaultPedsortOpts()
 	opts.Files = scale(opts.Files, o.Quick)
 	opts.Mode = mode
@@ -93,7 +97,7 @@ func runMetis(super bool, cores int, o Options) apps.Result {
 	if super {
 		cfg = kernel.PK()
 	}
-	k := kernel.New(topo.NewRR(cores), cfg, o.seed())
+	k := o.newKernel(topo.NewRR(cores), cfg)
 	opts := apps.DefaultMetisOpts()
 	if o.Quick {
 		opts.InputBytes /= 4
@@ -111,15 +115,15 @@ func stockPK(o Options, unit string, id, title string,
 	run func(cfg kernel.Config, cores int, o Options) apps.Result, perCoreScale float64) *Series {
 
 	s := &Series{ID: id, Title: title, Unit: unit}
-	var runs []func(int) Point
+	var runs []variantRun
 	for _, cfgv := range []struct {
 		name string
 		cfg  kernel.Config
 	}{{"Stock", kernel.Stock()}, {"PK", kernel.PK()}} {
 		cfgv := cfgv
-		runs = append(runs, func(c int) Point {
+		runs = append(runs, variantRun{cfgv.name, func(c int, o Options) Point {
 			return point(run(cfgv.cfg, c, o), cfgv.name, perCoreScale)
-		})
+		}})
 	}
 	o.runGrid(s, runs)
 	return s
@@ -175,10 +179,14 @@ func init() {
 		Paper: "Figure 6: requests/sec/core and CPU us/request vs cores",
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig6", Title: "Apache (Figure 6)", Unit: "req/s/core"}
-			o.runGrid(s, []func(int) Point{
+			o.runGrid(s, []variantRun{
 				// Stock: one instance per core on distinct ports (§5.4).
-				func(c int) Point { return point(runApache(kernel.Stock(), c, false, o), "Stock", 1) },
-				func(c int) Point { return point(runApache(kernel.PK(), c, true, o), "PK", 1) },
+				{"Stock", func(c int, o Options) Point {
+					return point(runApache(kernel.Stock(), c, false, o), "Stock", 1)
+				}},
+				{"PK", func(c int, o Options) Point {
+					return point(runApache(kernel.PK(), c, true, o), "PK", 1)
+				}},
 			})
 			return s
 		},
@@ -214,12 +222,12 @@ func init() {
 		Paper: "Figure 10: jobs/hour/core for Threads, Procs, Procs RR",
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig10", Title: "pedsort (Figure 10)", Unit: "jobs/hr/core"}
-			var runs []func(int) Point
+			var runs []variantRun
 			for _, mode := range []apps.PedsortMode{apps.PedsortThreads, apps.PedsortProcs, apps.PedsortProcsRR} {
 				mode := mode
-				runs = append(runs, func(c int) Point {
+				runs = append(runs, variantRun{mode.String(), func(c int, o Options) Point {
 					return point(runPedsort(mode, c, o), mode.String(), 3600)
-				})
+				}})
 			}
 			o.runGrid(s, runs)
 			return s
@@ -229,19 +237,27 @@ func init() {
 	register(Experiment{
 		ID:    "fig11",
 		Title: "Metis MapReduce inverted index",
-		Paper: "Figure 11: jobs/hour/core for 4KB stock vs 2MB PK",
+		Paper: "Figure 11: jobs/hour/core for 4KB stock vs 2MB PK, plus a striped-placement PK curve",
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig11", Title: "Metis (Figure 11)", Unit: "jobs/hr/core"}
-			var runs []func(int) Point
+			var runs []variantRun
 			for _, super := range []bool{false, true} {
 				super, name := super, "Stock + 4KB pages"
 				if super {
 					name = "PK + 2MB pages"
 				}
-				runs = append(runs, func(c int) Point {
+				runs = append(runs, variantRun{name, func(c int, o Options) Point {
 					return point(runMetis(super, c, o), name, 3600)
-				})
+				}})
 			}
+			// Registered placement variant: the same PK configuration with
+			// its reduce stream striped across every chip, so the figure
+			// itself shows what placement does to the curve instead of
+			// requiring a second run with the global -placement knob.
+			runs = append(runs, variantRun{"PK + 2MB striped", func(c int, o Options) Point {
+				o.Placement = mem.Placement{Kind: mem.PlaceStriped}
+				return point(runMetis(true, c, o), "PK + 2MB striped", 3600)
+			}})
 			o.runGrid(s, runs)
 			return s
 		},
@@ -271,12 +287,12 @@ func runPostgresFig(o Options, id string, writeFrac float64) *Series {
 		{"Stock + mod PG", kernel.Stock(), true},
 		{"PK + mod PG", kernel.PK(), true},
 	}
-	var runs []func(int) Point
+	var runs []variantRun
 	for _, v := range variants {
 		v := v
-		runs = append(runs, func(c int) Point {
+		runs = append(runs, variantRun{v.name, func(c int, o Options) Point {
 			return point(runPostgres(v.cfg, c, writeFrac, v.mod, o), v.name, 1)
-		})
+		}})
 	}
 	o.runGrid(s, runs)
 	return s
@@ -288,53 +304,55 @@ func runFig3(o Options) *Series {
 	s := &Series{ID: "fig3", Title: "MOSBENCH summary (Figure 3)", Unit: "ratio 48c/1c"}
 	type appRun struct {
 		name  string
-		stock func(cores int) apps.Result
-		pk    func(cores int) apps.Result
+		stock func(cores int, o Options) apps.Result
+		pk    func(cores int, o Options) apps.Result
 	}
 	appsList := []appRun{
 		{"Exim",
-			func(c int) apps.Result { return runExim(kernel.Stock(), c, o) },
-			func(c int) apps.Result { return runExim(kernel.PK(), c, o) }},
+			func(c int, o Options) apps.Result { return runExim(kernel.Stock(), c, o) },
+			func(c int, o Options) apps.Result { return runExim(kernel.PK(), c, o) }},
 		{"memcached",
-			func(c int) apps.Result { return runMemcached(kernel.Stock(), c, o) },
-			func(c int) apps.Result { return runMemcached(kernel.PK(), c, o) }},
+			func(c int, o Options) apps.Result { return runMemcached(kernel.Stock(), c, o) },
+			func(c int, o Options) apps.Result { return runMemcached(kernel.PK(), c, o) }},
 		{"Apache",
-			func(c int) apps.Result { return runApache(kernel.Stock(), c, false, o) },
-			func(c int) apps.Result { return runApache(kernel.PK(), c, true, o) }},
+			func(c int, o Options) apps.Result { return runApache(kernel.Stock(), c, false, o) },
+			func(c int, o Options) apps.Result { return runApache(kernel.PK(), c, true, o) }},
 		{"PostgreSQL",
-			func(c int) apps.Result { return runPostgres(kernel.Stock(), c, 0, false, o) },
-			func(c int) apps.Result { return runPostgres(kernel.PK(), c, 0, true, o) }},
+			func(c int, o Options) apps.Result { return runPostgres(kernel.Stock(), c, 0, false, o) },
+			func(c int, o Options) apps.Result { return runPostgres(kernel.PK(), c, 0, true, o) }},
 		{"gmake",
-			func(c int) apps.Result { return runGmake(kernel.Stock(), c, o) },
-			func(c int) apps.Result { return runGmake(kernel.PK(), c, o) }},
+			func(c int, o Options) apps.Result { return runGmake(kernel.Stock(), c, o) },
+			func(c int, o Options) apps.Result { return runGmake(kernel.PK(), c, o) }},
 		{"pedsort",
-			func(c int) apps.Result { return runPedsort(apps.PedsortThreads, c, o) },
-			func(c int) apps.Result { return runPedsort(apps.PedsortProcsRR, c, o) }},
+			func(c int, o Options) apps.Result { return runPedsort(apps.PedsortThreads, c, o) },
+			func(c int, o Options) apps.Result { return runPedsort(apps.PedsortProcsRR, c, o) }},
 		{"Metis",
-			func(c int) apps.Result { return runMetis(false, c, o) },
-			func(c int) apps.Result { return runMetis(true, c, o) }},
+			func(c int, o Options) apps.Result { return runMetis(false, c, o) },
+			func(c int, o Options) apps.Result { return runMetis(true, c, o) }},
 	}
 	s.Notes = append(s.Notes, "Table rows are applications, in Figure 3's order:")
 	// Each application needs four independent measurements (stock/PK at
-	// 1 and 48 cores); run all of them concurrently and assemble by index.
-	results := make([]apps.Result, len(appsList)*4)
-	o.parallelMap(len(results), func(i int) {
+	// 1 and 48 cores); run all of them concurrently (each cacheable on its
+	// own) and assemble by index.
+	results := make([]Point, len(appsList)*4)
+	o.parallelMap(len(results), func(i int, wo Options) {
 		a := appsList[i/4]
-		switch i % 4 {
-		case 0:
-			results[i] = a.stock(1)
-		case 1:
-			results[i] = a.stock(48)
-		case 2:
-			results[i] = a.pk(1)
-		case 3:
-			results[i] = a.pk(48)
+		cores := 1
+		if i%2 == 1 {
+			cores = 48
 		}
+		label, run := a.name+"/Stock", a.stock
+		if i%4 >= 2 {
+			label, run = a.name+"/PK", a.pk
+		}
+		results[i] = wo.cachedPoint("fig3", label, cores, func() Point {
+			return point(run(cores, wo), label, 1)
+		})
 	})
 	for i, a := range appsList {
 		s1, s48, p1, p48 := results[i*4], results[i*4+1], results[i*4+2], results[i*4+3]
-		stockRatio := s48.PerCore() / s1.PerCore()
-		pkRatio := p48.PerCore() / p1.PerCore()
+		stockRatio := s48.PerCore / s1.PerCore
+		pkRatio := p48.PerCore / p1.PerCore
 		// The Cores column carries the application ordinal so the table
 		// renders one application per row.
 		s.Points = append(s.Points,
@@ -352,37 +370,41 @@ func runFig12(o Options) *Series {
 	s := &Series{ID: "fig12", Title: "Remaining bottlenecks at 48 cores (Figure 12)"}
 	type row struct {
 		app, attribution string
-		retention        func() float64
+		run              func(cores int, o Options) apps.Result
 	}
-	ret := func(r1, r48 apps.Result) float64 { return r48.PerCore() / r1.PerCore() }
 	rows := []row{
-		{"Exim", "App: Contention on spool directories", func() float64 {
-			return ret(runExim(kernel.PK(), 1, o), runExim(kernel.PK(), 48, o))
-		}},
-		{"memcached", "HW: Transmit queues on NIC", func() float64 {
-			return ret(runMemcached(kernel.PK(), 1, o), runMemcached(kernel.PK(), 48, o))
-		}},
-		{"Apache", "HW: Receive queues on NIC", func() float64 {
-			return ret(runApache(kernel.PK(), 1, true, o), runApache(kernel.PK(), 48, true, o))
-		}},
-		{"PostgreSQL", "App: Application-level spin lock", func() float64 {
-			return ret(runPostgres(kernel.PK(), 1, 0, true, o), runPostgres(kernel.PK(), 48, 0, true, o))
-		}},
-		{"gmake", "App: Serial stages and stragglers", func() float64 {
-			return ret(runGmake(kernel.PK(), 1, o), runGmake(kernel.PK(), 48, o))
-		}},
-		{"pedsort", "HW: Cache capacity", func() float64 {
-			return ret(runPedsort(apps.PedsortProcsRR, 1, o), runPedsort(apps.PedsortProcsRR, 48, o))
-		}},
-		{"Metis", "HW: DRAM throughput", func() float64 {
-			return ret(runMetis(true, 1, o), runMetis(true, 48, o))
-		}},
+		{"Exim", "App: Contention on spool directories",
+			func(c int, o Options) apps.Result { return runExim(kernel.PK(), c, o) }},
+		{"memcached", "HW: Transmit queues on NIC",
+			func(c int, o Options) apps.Result { return runMemcached(kernel.PK(), c, o) }},
+		{"Apache", "HW: Receive queues on NIC",
+			func(c int, o Options) apps.Result { return runApache(kernel.PK(), c, true, o) }},
+		{"PostgreSQL", "App: Application-level spin lock",
+			func(c int, o Options) apps.Result { return runPostgres(kernel.PK(), c, 0, true, o) }},
+		{"gmake", "App: Serial stages and stragglers",
+			func(c int, o Options) apps.Result { return runGmake(kernel.PK(), c, o) }},
+		{"pedsort", "HW: Cache capacity",
+			func(c int, o Options) apps.Result { return runPedsort(apps.PedsortProcsRR, c, o) }},
+		{"Metis", "HW: DRAM throughput",
+			func(c int, o Options) apps.Result { return runMetis(true, c, o) }},
 	}
-	retained := make([]float64, len(rows))
-	o.parallelMap(len(rows), func(i int) { retained[i] = rows[i].retention() })
+	// Two independent measurements per row (1 and 48 cores), fanned out
+	// and individually cacheable.
+	pts := make([]Point, len(rows)*2)
+	o.parallelMap(len(pts), func(i int, wo Options) {
+		r := rows[i/2]
+		cores := 1
+		if i%2 == 1 {
+			cores = 48
+		}
+		pts[i] = wo.cachedPoint("fig12", r.app, cores, func() Point {
+			return point(r.run(cores, wo), r.app, 1)
+		})
+	})
 	for i, r := range rows {
+		retained := pts[i*2+1].PerCore / pts[i*2].PerCore
 		s.Notes = append(s.Notes,
-			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, retained[i]))
+			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, retained))
 	}
 	return s
 }

@@ -88,7 +88,7 @@ func runScalableLocks(o Options) *Series {
 		}()},
 	}
 	for _, v := range variants {
-		k := kernel.New(topo.New(48), v.cfg, o.seed())
+		k := o.newKernel(topo.New(48), v.cfg)
 		opts := apps.DefaultEximOpts()
 		opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
 		r := apps.RunExim(k, opts)
@@ -109,14 +109,14 @@ func runScalableLocks(o Options) *Series {
 func runProfile(o Options) *Series {
 	s := &Series{ID: "profile", Title: "Stock-kernel contention profile at 48 cores"}
 
-	kExim := kernel.New(topo.New(48), kernel.Stock(), o.seed())
+	kExim := o.newKernel(topo.New(48), kernel.Stock())
 	eximOpts := apps.DefaultEximOpts()
 	eximOpts.MessagesPerCore = scale(eximOpts.MessagesPerCore, o.Quick)
 	apps.RunExim(kExim, eximOpts)
 	s.Notes = append(s.Notes, "== Exim on stock, 48 cores ==")
 	s.Notes = append(s.Notes, kExim.MD.Prof.Report(6))
 
-	kMC := kernel.New(topo.New(48), kernel.Stock(), o.seed())
+	kMC := o.newKernel(topo.New(48), kernel.Stock())
 	mcOpts := apps.DefaultMemcachedOpts()
 	mcOpts.RequestsPerCore = scale(mcOpts.RequestsPerCore, o.Quick)
 	mcOpts.UseNIC = false
@@ -140,7 +140,7 @@ func runSloppyThreshold(o Options) *Series {
 	const batch = 3
 	for _, threshold := range []int64{1, 2, 4, 8, 16, 64} {
 		m := topo.New(48)
-		e := sim.NewEngine(m, o.seed())
+		e := o.newEngine(m)
 		md := mem.NewModel(m)
 		ctr := scount.NewSloppy(md, 0)
 		ctr.Threshold = threshold
@@ -172,7 +172,7 @@ func runSpoolDirs(o Options) *Series {
 	s := &Series{ID: "spool-dirs", Title: "Exim spool directories (PK, 48 cores)",
 		Unit: "msg/s/core"}
 	for _, dirs := range []int{1, 2, 4, 8, 16, 62, 256} {
-		k := kernel.New(topo.New(48), kernel.PK(), o.seed())
+		k := o.newKernel(topo.New(48), kernel.PK())
 		opts := apps.DefaultEximOpts()
 		opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
 		opts.SpoolDirs = dirs
@@ -195,7 +195,7 @@ func runLockMgr(o Options) *Series {
 	s := &Series{ID: "lockmgr", Title: "PostgreSQL lock-manager mutexes (stock kernel, r/w, 24 cores)",
 		Unit: "q/s/core"}
 	for _, n := range []int{1, 4, 16, 64, 1024} {
-		k := kernel.New(topo.New(24), kernel.Stock(), o.seed())
+		k := o.newKernel(topo.New(24), kernel.Stock())
 		opts := apps.DefaultPostgresOpts()
 		opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 		opts.WriteFraction = 0.05
@@ -227,7 +227,7 @@ func runSteering(o Options) *Series {
 		m := topo.New(cores)
 		cfg := kernel.PK()
 		cfg.ParallelAccept = false // sampled steering, shared backlog
-		k := kernel.New(m, cfg, o.seed())
+		k := o.newKernel(m, cfg)
 		netCfg := cfg.Net()
 		netCfg.MisdirectProb = prob
 		stack := netsim.NewStack(k.MD, k.FS, nil, k.DRAM, netCfg)

@@ -88,6 +88,20 @@ type Options struct {
 	// PostgreSQL). The zero value is local placement, the pre-option
 	// behavior.
 	Placement mem.Placement
+	// Cache, when non-nil, memoizes sweep points by (experiment, variant,
+	// cores, seed, quick, placement): hits skip simulation entirely, and
+	// misses are stored so a repeated grid run is served from the cache.
+	Cache *Cache
+	// FreshEngines disables the engine arena: every sweep point builds a
+	// brand-new sim.Engine instead of resetting a pooled one. Results are
+	// bit-for-bit identical either way (pinned by
+	// TestEngineReuseDeterminism); the knob exists for that comparison and
+	// as an escape hatch.
+	FreshEngines bool
+
+	// slot is the calling sweep worker's pooled engine, set by
+	// parallelMap; nil outside a sweep (fresh engines are used then).
+	slot *engineSlot
 }
 
 // DefaultCores is the standard sweep, a subset of the paper's x-axis.
@@ -113,19 +127,35 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
-// parallelMap runs fn(i) for every i in [0, n) and returns when all calls
-// have finished. Unless o.Serial is set, the calls are spread across
+// parallelMap runs fn(i, o') for every i in [0, n) and returns when all
+// calls have finished. Unless o.Serial is set, the calls are spread across
 // GOMAXPROCS workers; every index must be an independent simulation
 // writing only to its own slot of a caller-owned slice, which makes the
-// result independent of execution order.
-func (o Options) parallelMap(n int, fn func(i int)) {
+// result independent of execution order. The Options each call receives
+// carry the worker's pooled engine slot (unless o.FreshEngines), so a
+// whole grid reuses at most GOMAXPROCS engines.
+func (o Options) parallelMap(n int, fn func(i int, o Options)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	attach := func(o Options) (Options, func()) {
+		if o.FreshEngines {
+			return o, func() {}
+		}
+		slot := arena.get()
+		o.slot = slot
+		return o, func() { arena.put(slot) }
+	}
 	if o.Serial || workers <= 1 {
+		wo := o
+		if wo.slot == nil { // reuse the experiment-level slot if present
+			var release func()
+			wo, release = attach(o)
+			defer release()
+		}
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, wo)
 		}
 		return
 	}
@@ -133,29 +163,49 @@ func (o Options) parallelMap(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Worker 0 inherits the caller's (experiment-level) slot
+			// instead of leaving it idle, keeping the whole grid at no
+			// more than GOMAXPROCS engines.
+			wo := o
+			if w != 0 || o.slot == nil {
+				var release func()
+				wo, release = attach(o)
+				defer release()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i, wo)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
 
-// runGrid executes runs[v](c) for every variant v and core count c in o's
-// sweep, concurrently unless o.Serial, and appends the points to s grouped
-// by variant with cores ascending — exactly the order the equivalent
-// nested serial loops would produce.
-func (o Options) runGrid(s *Series, runs []func(cores int) Point) {
+// variantRun is one labeled curve of a grid experiment. The label both
+// names the points and keys the sweep-point cache, so it must be stable
+// and unique within the experiment.
+type variantRun struct {
+	name string
+	run  func(cores int, o Options) Point
+}
+
+// runGrid executes every variant at every core count in o's sweep,
+// concurrently unless o.Serial, and appends the points to s grouped by
+// variant with cores ascending — exactly the order the equivalent nested
+// serial loops would produce. Each point is served from o.Cache when
+// possible.
+func (o Options) runGrid(s *Series, runs []variantRun) {
 	cores := o.cores()
 	pts := make([]Point, len(runs)*len(cores))
-	o.parallelMap(len(pts), func(i int) {
-		pts[i] = runs[i/len(cores)](cores[i%len(cores)])
+	o.parallelMap(len(pts), func(i int, wo Options) {
+		vr := runs[i/len(cores)]
+		c := cores[i%len(cores)]
+		pts[i] = wo.cachedPoint(s.ID, vr.name, c, func() Point { return vr.run(c, wo) })
 	})
 	s.Points = append(s.Points, pts...)
 }
@@ -174,7 +224,23 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register adds an experiment, wrapping its Run so the whole invocation
+// holds one arena engine slot: serial experiment bodies (and the serial
+// parallelMap path) reuse that engine point to point, while the parallel
+// sweep workers attach their own slots. FreshEngines bypasses the arena
+// everywhere.
+func register(e Experiment) {
+	inner := e.Run
+	e.Run = func(o Options) *Series {
+		if !o.FreshEngines && o.slot == nil {
+			slot := arena.get()
+			defer arena.put(slot)
+			o.slot = slot
+		}
+		return inner(o)
+	}
+	registry = append(registry, e)
+}
 
 // Experiments returns all registered experiments sorted by ID.
 func Experiments() []Experiment {

@@ -61,7 +61,7 @@ func runHWLatencies(o Options) *Series {
 	s := &Series{ID: "tbl-hw", Title: "Memory latencies (§5.1)", Unit: "cycles"}
 	m := topo.New(48)
 	md := mem.NewModel(m)
-	e := sim.NewEngine(m, o.seed())
+	e := o.newEngine(m)
 
 	var l1, l3, dramLocal, dramFar, remoteDirty int64
 	lineLocal := md.Alloc(0)
@@ -109,7 +109,7 @@ func runSloppyTrace(o Options) *Series {
 	s := &Series{ID: "fig2", Title: "Sloppy counter trace (Figure 2)"}
 	m := topo.New(2)
 	md := mem.NewModel(m)
-	e := sim.NewEngine(m, o.seed())
+	e := o.newEngine(m)
 	ctr := scount.NewSloppy(md, 0)
 	e.Spawn(0, "core0", 0, func(p *sim.Proc) {
 		ctr.Acquire(p, 1)
@@ -140,30 +140,27 @@ func runSloppyTrace(o Options) *Series {
 // the PK kernel at 48 cores, the §5.3 experiment (~30% improvement).
 func runDMAAblation(o Options) *Series {
 	s := &Series{ID: "dma", Title: "DMA buffer allocation (§5.3)", Unit: "req/s/core"}
-	run := func(local bool) apps.Result {
+	run := func(local bool, o Options) apps.Result {
 		cfg := kernel.PK()
 		cfg.LocalDMABuf = local
-		k := kernel.New(topo.New(48), cfg, o.seed())
+		k := o.newKernel(topo.New(48), cfg)
 		opts := apps.DefaultMemcachedOpts()
 		opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
 		// Keep the card in the loop, as the paper's measurement did; the
 		// NIC envelope caps the achievable gain.
 		return apps.RunMemcached(k, opts)
 	}
-	var node0, local apps.Result
-	o.parallelMap(2, func(i int) {
-		if i == 0 {
-			node0 = run(false)
-		} else {
-			local = run(true)
-		}
+	labels := []string{"node-0 pool", "local pools"}
+	pts := make([]Point, 2)
+	o.parallelMap(2, func(i int, wo Options) {
+		pts[i] = wo.cachedPoint("dma", labels[i], 48, func() Point {
+			return point(run(i == 1, wo), labels[i], 1)
+		})
 	})
-	s.Points = append(s.Points,
-		point(node0, "node-0 pool", 1),
-		point(local, "local pools", 1))
+	s.Points = append(s.Points, pts...)
 	s.Notes = append(s.Notes, fmt.Sprintf(
 		"local-node allocation improves 48-core throughput by %.0f%% (paper: ~30%%)",
-		(local.PerCore()/node0.PerCore()-1)*100))
+		(pts[1].PerCore/pts[0].PerCore-1)*100))
 	return s
 }
 
@@ -172,11 +169,11 @@ func runDMAAblation(o Options) *Series {
 // showing the device, not the kernel, caps delivery.
 func runNICEnvelope(o Options) *Series {
 	s := &Series{ID: "nic-env", Title: "NIC packet envelope (§5.4)", Unit: "Mpkt/s total"}
-	o.runGrid(s, []func(int) Point{func(c int) Point {
+	o.runGrid(s, []variantRun{{"UDP echo", func(c int, o Options) Point {
 		r := runMemcached(kernel.PK(), c, o)
 		pps := r.Throughput() * 2 / 1e6 // one rx + one tx per request
 		return Point{Cores: c, Variant: "UDP echo", PerCore: pps}
-	}})
+	}}})
 	s.Notes = append(s.Notes,
 		"PerCore column holds aggregate Mpkt/s; the plateau past 16 cores is the card envelope")
 	return s
@@ -189,10 +186,10 @@ func runNICEnvelope(o Options) *Series {
 func runScountSweep(o Options) *Series {
 	s := &Series{ID: "scount", Title: "Reference counter scalability (§4.3)", Unit: "pairs/ms/core"}
 	pairs := scale(400, o.Quick)
-	runPoint := func(variant string, cores int, mk func(md *mem.Model) scount.Counter) Point {
+	runPoint := func(variant string, cores int, o Options, mk func(md *mem.Model) scount.Counter) Point {
 		m := topo.New(cores)
 		md := mem.NewModel(m)
-		e := sim.NewEngine(m, o.seed())
+		e := o.newEngine(m)
 		ctr := mk(md)
 		for c := 0; c < cores; c++ {
 			e.Spawn(c, "churner", 0, func(p *sim.Proc) {
@@ -213,13 +210,13 @@ func runScountSweep(o Options) *Series {
 			SysMicros:  topo.CyclesToMicros(e.TotalSysCycles()) / float64(pairs*cores),
 		}
 	}
-	o.runGrid(s, []func(int) Point{
-		func(c int) Point {
-			return runPoint("Shared atomic", c, func(md *mem.Model) scount.Counter { return scount.NewShared(md, 0) })
-		},
-		func(c int) Point {
-			return runPoint("Sloppy", c, func(md *mem.Model) scount.Counter { return scount.NewSloppy(md, 0) })
-		},
+	o.runGrid(s, []variantRun{
+		{"Shared atomic", func(c int, o Options) Point {
+			return runPoint("Shared atomic", c, o, func(md *mem.Model) scount.Counter { return scount.NewShared(md, 0) })
+		}},
+		{"Sloppy", func(c int, o Options) Point {
+			return runPoint("Sloppy", c, o, func(md *mem.Model) scount.Counter { return scount.NewSloppy(md, 0) })
+		}},
 	})
 	s.Notes = append(s.Notes,
 		"Shared collapses as every pair serializes on one line; Sloppy stays flat (core-local spares)")
@@ -233,7 +230,7 @@ func runAblations(o Options) *Series {
 	s := &Series{ID: "ablate", Title: "Per-fix ablations at 48 cores (Figure 1)"}
 
 	// runFor picks the app used to measure a fix.
-	runFor := func(name string, cfg kernel.Config) float64 {
+	runFor := func(name string, cfg kernel.Config, o Options) float64 {
 		switch name {
 		case "parallel-accept":
 			return runApache(cfg, 48, cfg.ParallelAccept, o).PerCore()
@@ -241,13 +238,13 @@ func runAblations(o Options) *Series {
 			"inode-lists", "dcache-lists":
 			return runMemcached(cfg, 48, o).PerCore()
 		case "lseek-mutex":
-			k := kernel.New(topo.New(48), cfg, o.seed())
+			k := o.newKernel(topo.New(48), cfg)
 			opts := apps.DefaultPostgresOpts()
 			opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 			opts.ModPG = true
 			return apps.RunPostgres(k, opts).PerCore()
 		case "superpage-locking", "superpage-zeroing":
-			k := kernel.New(topo.NewRR(48), cfg, o.seed())
+			k := o.newKernel(topo.NewRR(48), cfg)
 			opts := apps.DefaultMetisOpts()
 			if o.Quick {
 				opts.InputBytes /= 4
@@ -262,22 +259,23 @@ func runAblations(o Options) *Series {
 	}
 
 	// Each fix needs a baseline and a fix-enabled measurement; all 2N runs
-	// are independent simulations, so fan them out.
-	base := make([]float64, len(kernel.Fixes))
-	with := make([]float64, len(kernel.Fixes))
-	o.parallelMap(2*len(kernel.Fixes), func(i int) {
+	// are independent simulations, so fan them out (each one cacheable).
+	pts := make([]Point, 2*len(kernel.Fixes))
+	o.parallelMap(len(pts), func(i int, wo Options) {
 		f := kernel.Fixes[i/2]
-		if i%2 == 0 {
-			base[i/2] = runFor(f.Name, kernel.Stock())
-			return
-		}
+		label := f.Name + "/stock"
 		cfg := kernel.Stock()
-		f.Enable(&cfg)
-		with[i/2] = runFor(f.Name, cfg)
+		if i%2 == 1 {
+			label = f.Name + "/fix"
+			f.Enable(&cfg)
+		}
+		pts[i] = wo.cachedPoint("ablate", label, 48, func() Point {
+			return Point{Cores: 48, Variant: label, PerCore: runFor(f.Name, cfg, wo)}
+		})
 	})
 	for i, f := range kernel.Fixes {
 		s.Notes = append(s.Notes, fmt.Sprintf("%-22s alone: %+6.1f%%  (apps: %s)",
-			f.Name, (with[i]/base[i]-1)*100, f.Apps[0]))
+			f.Name, (pts[i*2+1].PerCore/pts[i*2].PerCore-1)*100, f.Apps[0]))
 	}
 	return s
 }

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// BenchResult is one machine-readable performance measurement.
+type BenchResult struct {
+	// Name identifies the measurement (stable across runs, so results can
+	// be tracked as a trajectory).
+	Name string `json:"name"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Ops is how many operations the measurement averaged over.
+	Ops int64 `json:"ops"`
+}
+
+// BenchReport is the file cmd/mosbench -benchjson writes.
+type BenchReport struct {
+	// Schema versions the report format.
+	Schema string `json:"schema"`
+	// Results holds every measurement.
+	Results []BenchResult `json:"results"`
+}
+
+// benchReportSchema names the report format; bump when fields change.
+const benchReportSchema = "mosbench-bench/1"
+
+// timeOp measures fn once and averages its wall-clock over ops.
+func timeOp(name string, ops int64, fn func()) BenchResult {
+	start := time.Now()
+	fn()
+	return BenchResult{
+		Name:    name,
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(ops),
+		Ops:     ops,
+	}
+}
+
+// RunPerfSuite measures the simulator's hot paths with wall-clock timers
+// and returns machine-readable results: engine dispatch (the non-yielding
+// Advance fast path), the proc-to-proc handoff, spawn/run cycles on fresh
+// vs reused engines, and quick-sweep wall-clock cold vs warm-cache. It
+// seeds the repo's performance trajectory; CI runs it as a build/panic
+// smoke (timings are environment-dependent and not asserted).
+func RunPerfSuite() []BenchResult {
+	var out []BenchResult
+
+	// Engine dispatch: a lone proc advancing never yields.
+	{
+		const n = 2_000_000
+		e := sim.NewEngine(topo.New(1), 1)
+		defer e.Close()
+		e.Spawn(0, "runner", 0, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				p.Advance(10)
+			}
+		})
+		out = append(out, timeOp("engine_advance_fast_path", n, e.Run))
+	}
+
+	// Handoff: two procs with interleaved times force a goroutine-to-
+	// goroutine handoff on every Advance.
+	{
+		const n = 500_000
+		e := sim.NewEngine(topo.New(2), 1)
+		defer e.Close()
+		body := func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				p.Advance(10)
+			}
+		}
+		e.Spawn(0, "a", 0, body)
+		e.Spawn(1, "b", 5, body)
+		out = append(out, timeOp("engine_handoff", 2*n, e.Run))
+	}
+
+	// Spawn/run cycles: fresh engine per cycle vs one reused engine. The
+	// reused number is the arena's steady-state per-point overhead.
+	{
+		const cycles, procs = 200, 48
+		m := topo.New(procs)
+		body := func(p *sim.Proc) { p.Advance(10) }
+		out = append(out, timeOp("spawn_run_fresh_engine", cycles, func() {
+			for i := 0; i < cycles; i++ {
+				e := sim.NewEngine(m, 1)
+				for c := 0; c < procs; c++ {
+					e.Spawn(c, "p", 0, body)
+				}
+				e.Run()
+			}
+		}))
+		e := sim.NewPooledEngine(m, 1)
+		defer e.Close()
+		out = append(out, timeOp("spawn_run_reused_engine", cycles, func() {
+			for i := 0; i < cycles; i++ {
+				e.Reset(1)
+				for c := 0; c < procs; c++ {
+					e.Spawn(c, "p", 0, body)
+				}
+				e.Run()
+			}
+		}))
+	}
+
+	// Quick sweep wall-clock: one fig5 quick grid on the arena, then the
+	// same grid served from a warm cache (zero simulation).
+	{
+		fig5 := ByID("fig5")
+		out = append(out, timeOp("quick_sweep_fig5", 1, func() {
+			fig5.Run(Options{Quick: true, Seed: 1})
+		}))
+		if dir, err := os.MkdirTemp("", "mosbench-bench-cache"); err == nil {
+			defer os.RemoveAll(dir)
+			if c, err := OpenCache(dir); err == nil {
+				o := Options{Quick: true, Seed: 1, Cache: c}
+				fig5.Run(o) // prime
+				out = append(out, timeOp("quick_sweep_fig5_warm_cache", 1, func() {
+					fig5.Run(o)
+				}))
+			}
+		}
+	}
+
+	return out
+}
+
+// WriteBenchJSON runs the perf suite and writes the report to path.
+func WriteBenchJSON(path string) ([]BenchResult, error) {
+	results := RunPerfSuite()
+	data, err := json.MarshalIndent(BenchReport{Schema: benchReportSchema, Results: results}, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench report encode: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("harness: bench report write: %w", err)
+	}
+	return results, nil
+}

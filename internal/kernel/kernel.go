@@ -143,12 +143,22 @@ const pageStructSample = 256
 
 // New boots a kernel on the given machine with a deterministic seed.
 func New(m *topo.Machine, cfg Config, seed uint64) *Kernel {
+	return NewOnEngine(sim.NewEngine(m, seed), cfg)
+}
+
+// NewOnEngine boots a kernel on an existing engine — typically one a sweep
+// arena has just Reset for reuse, so the engine's parked proc goroutines
+// carry over while every kernel subsystem (memory model, VFS, DRAM
+// controllers, page structs) is rebuilt fresh for this run. The caller is
+// responsible for the engine being in its post-NewEngine/Reset state.
+func NewOnEngine(e *sim.Engine, cfg Config) *Kernel {
+	m := e.Machine
 	md := mem.NewModel(m)
 	alloc := mm.NewAllocator(md)
 	k := &Kernel{
 		Cfg:     cfg,
 		Machine: m,
-		Engine:  sim.NewEngine(m, seed),
+		Engine:  e,
 		MD:      md,
 		Alloc:   alloc,
 		FS:      vfs.New(md, alloc, cfg.VFS()),

@@ -187,6 +187,23 @@ func (cs *Controllers) DMAWrite(p *sim.Proc, home int, n int64) {
 	cs.transferVia(p, topo.IOHubChip, home, n)
 }
 
+// DMARead charges the bandwidth of a device reading n bytes out of the
+// DRAM of chip home — the transmit half of device DMA, mirroring DMAWrite:
+// the card pulls a send buffer's payload through home's controller and
+// across every HT link from home to the I/O hub's chip. p is the driver
+// proc that queued the packet; it waits for the card to drain the buffer
+// (the driver cannot recycle the skb before the read completes) but pays
+// no hop latency — the CPU never touches the bytes on this path.
+func (cs *Controllers) DMARead(p *sim.Proc, home int, n int64) {
+	if n <= 0 {
+		return
+	}
+	for _, l := range topo.Route(home, topo.IOHubChip) {
+		cs.links[l].Transfer(p, n)
+	}
+	cs.Chip(home).Transfer(p, n)
+}
+
 // TransferLocal moves n bytes through the controller of p's own chip — the
 // default placement for data a core allocated and first touched locally.
 func (cs *Controllers) TransferLocal(p *sim.Proc, n int64) {

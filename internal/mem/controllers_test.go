@@ -262,6 +262,44 @@ func TestDMAWriteChargesRouteFromHub(t *testing.T) {
 	}
 }
 
+// TestDMAReadChargesRouteToHub verifies the transmit half of device DMA:
+// the card reading a send buffer charges the buffer's home controller and
+// the links from the home chip to the I/O hub — the mirror image of
+// DMAWrite.
+func TestDMAReadChargesRouteToHub(t *testing.T) {
+	cs := NewControllers()
+	e := sim.NewEngine(topo.New(48), 1)
+	home := 5
+	n := int64(1 << 16)
+	e.Spawn(47, "driver", 0, func(p *sim.Proc) {
+		cs.DMARead(p, home, n)
+	})
+	e.Run()
+	route := topo.Route(home, topo.IOHubChip)
+	if got, want := cs.LinkBytesRequested(), n*int64(len(route)); got != want {
+		t.Errorf("DMA read charged %d link bytes, want %d (route %v to hub)", got, want, route)
+	}
+	for _, l := range route {
+		if b := cs.Link(l).BytesRequested(); b != n {
+			t.Errorf("hub-route link %d carried %d bytes, want %d", l, b, n)
+		}
+	}
+	if b := cs.Chip(home).BytesRequested(); b != n {
+		t.Errorf("home controller served %d bytes, want %d", b, n)
+	}
+	// A hub-homed send buffer (stock node-0 pools) charges no link.
+	cs2 := NewControllers()
+	e2 := sim.NewEngine(topo.New(1), 1)
+	e2.Spawn(0, "driver", 0, func(p *sim.Proc) { cs2.DMARead(p, topo.IOHubChip, n) })
+	e2.Run()
+	if got := cs2.LinkBytesRequested(); got != 0 {
+		t.Errorf("hub-homed DMA read charged %d link bytes, want 0", got)
+	}
+	if b := cs2.Chip(topo.IOHubChip).BytesRequested(); b != n {
+		t.Errorf("hub-homed DMA read moved %d controller bytes, want %d", b, n)
+	}
+}
+
 func TestPlacementParseAndString(t *testing.T) {
 	cases := []struct {
 		in   string

@@ -7,6 +7,7 @@ import (
 	"repro/internal/scount"
 	"repro/internal/sim"
 	"repro/internal/slock"
+	"repro/internal/topo"
 	"repro/internal/vfs"
 )
 
@@ -121,6 +122,18 @@ func NewStack(md *mem.Model, fs *vfs.FS, nic *NIC, dram *mem.Controllers, cfg Co
 	return s
 }
 
+// dmaHome returns the chip whose DRAM homes p's packet buffers: the I/O
+// hub's chip for the stock shared pools (all DMA buffers come from the
+// node nearest the PCI bus), the proc's own chip with per-core pools.
+// Both DMA halves (rxPacket landing payloads, txPacket draining them)
+// route against this home.
+func (s *Stack) dmaHome(p *sim.Proc) int {
+	if s.cfg.LocalDMABuf {
+		return p.Chip()
+	}
+	return topo.IOHubChip
+}
+
 // Misdirected returns how many packets were steered to the wrong core.
 func (s *Stack) Misdirected() int64 { return s.misdirected }
 
@@ -133,14 +146,9 @@ func (s *Stack) rxPacket(p *sim.Proc, n int64) {
 		s.nic.Transfer(p, 1)
 		if s.dram != nil {
 			// The card DMAs the payload from the I/O hub into the
-			// buffer's home DRAM: node 0 for the stock shared pools, the
-			// driver core's own chip with per-core pools. The bytes
-			// occupy every HT link between the hub and that chip.
-			home := 0
-			if s.cfg.LocalDMABuf {
-				home = p.Chip()
-			}
-			s.dram.DMAWrite(p, home, n)
+			// buffer's home DRAM; the bytes occupy every HT link between
+			// the hub and that chip.
+			s.dram.DMAWrite(p, s.dmaHome(p), n)
 		}
 	}
 	s.skb.Get(p)
@@ -163,10 +171,18 @@ func (s *Stack) txPacket(p *sim.Proc, n int64) {
 	p.Advance(protoWork + n/copyPerByte)
 	s.dst.Release(p, 1)
 	s.protoMem.Release(p, 1)
-	s.skb.Put(p)
 	if s.nic != nil {
 		s.nic.Transfer(p, 1)
+		if s.dram != nil {
+			// The card DMAs the payload out of the send buffer's home
+			// DRAM toward the I/O hub — the transmit mirror of the
+			// receive-half charge in rxPacket. The bytes occupy the home
+			// controller and every HT link between that chip and the hub.
+			s.dram.DMARead(p, s.dmaHome(p), n)
+		}
 	}
+	// The buffer returns to the pool only after the card has drained it.
+	s.skb.Put(p)
 }
 
 // ---- UDP (memcached) ----

@@ -3,8 +3,76 @@ package netsim
 import (
 	"testing"
 
+	"repro/internal/mem"
+	"repro/internal/mm"
 	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vfs"
 )
+
+// newStackWithDRAM is newStack with a NUMA memory system attached, so DMA
+// payload bandwidth charging is active.
+func newStackWithDRAM(cores int, cfg Config, nic *NIC) (*sim.Engine, *Stack, *mem.Controllers) {
+	m := topo.New(cores)
+	md := mem.NewModel(m)
+	fs := vfs.New(md, mm.NewAllocator(md), vfs.Config{})
+	dram := mem.NewControllers()
+	return sim.NewEngine(m, 1), NewStack(md, fs, nic, dram, cfg), dram
+}
+
+// TestTxChargesSendBufferDMA pins the transmit half of device DMA: sending
+// a UDP datagram through the card must charge the send buffer's home
+// controller, and — with per-core pools on a remote chip — the HT links
+// from that chip to the I/O hub.
+func TestTxChargesSendBufferDMA(t *testing.T) {
+	// PK per-core pools, sender on chip 7 (core 47): payload must cross
+	// links toward the hub and occupy chip 7's controller.
+	nic := NewNIC(MemcachedNIC(), 48)
+	e, s, dram := newStackWithDRAM(48, pkCfg(), nic)
+	const payload = 1000
+	e.Spawn(47, "srv", 0, func(p *sim.Proc) {
+		u := s.NewUDPSocket(p)
+		s.SendUDP(p, u, payload)
+		s.CloseUDP(p, u)
+	})
+	e.Run()
+	home := topo.New(48).Chip(47)
+	if b := dram.Chip(home).BytesRequested(); b < payload {
+		t.Errorf("send buffer's home controller served %d bytes, want >= %d", b, payload)
+	}
+	hops := len(topo.Route(home, topo.IOHubChip))
+	if got, want := dram.LinkBytesRequested(), int64(payload*hops); got < want {
+		t.Errorf("tx DMA charged %d link bytes, want >= %d (%d hops to the hub)", got, want, hops)
+	}
+
+	// Stock node-0 pools: the buffer is homed on the hub chip, so the
+	// same send charges chip 0's controller and no links.
+	e2, s2, dram2 := newStackWithDRAM(48, stockCfg(), NewNIC(MemcachedNIC(), 48))
+	e2.Spawn(47, "srv", 0, func(p *sim.Proc) {
+		u := s2.NewUDPSocket(p)
+		s2.SendUDP(p, u, payload)
+		s2.CloseUDP(p, u)
+	})
+	e2.Run()
+	if b := dram2.Chip(topo.IOHubChip).BytesRequested(); b < payload {
+		t.Errorf("stock tx DMA charged %d bytes on the hub chip, want >= %d", b, payload)
+	}
+	if got := dram2.LinkBytesRequested(); got != 0 {
+		t.Errorf("hub-homed tx DMA charged %d link bytes, want 0", got)
+	}
+
+	// No NIC (loopback-only stack): nothing charged at all.
+	e3, s3, dram3 := newStackWithDRAM(1, pkCfg(), nil)
+	e3.Spawn(0, "srv", 0, func(p *sim.Proc) {
+		u := s3.NewUDPSocket(p)
+		s3.SendUDP(p, u, payload)
+		s3.CloseUDP(p, u)
+	})
+	e3.Run()
+	if got := dram3.BytesRequested() + dram3.LinkBytesRequested(); got != 0 {
+		t.Errorf("NIC-less send charged %d DMA bytes, want 0", got)
+	}
+}
 
 func TestConnLifecyclePacketCount(t *testing.T) {
 	// One accept + recv + send + close must move the expected packets

@@ -36,6 +36,36 @@ func BenchmarkYieldHandoff(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkSpawnRunReused measures a whole Spawn+Run cycle of 48 trivial
+// procs on one engine reused via Reset — the sweep arena's steady state,
+// where every Spawn resumes a parked goroutine with one channel send.
+func BenchmarkSpawnRunReused(b *testing.B) {
+	e := NewPooledEngine(topo.New(48), 1)
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(1)
+		for c := 0; c < 48; c++ {
+			e.Spawn(c, "p", 0, func(p *Proc) { p.Advance(10) })
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkSpawnRunFresh is the baseline BenchmarkSpawnRunReused beats: a
+// fresh plain engine (48 fresh goroutines, exiting on completion) per
+// cycle.
+func BenchmarkSpawnRunFresh(b *testing.B) {
+	m := topo.New(48)
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(m, 1)
+		for c := 0; c < 48; c++ {
+			e.Spawn(c, "p", 0, func(p *Proc) { p.Advance(10) })
+		}
+		e.Run()
+	}
+}
+
 // BenchmarkIdleFastPath measures Idle on a lone proc, which like Advance
 // can skip the yield when no other proc could run earlier.
 func BenchmarkIdleFastPath(b *testing.B) {

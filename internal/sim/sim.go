@@ -8,6 +8,16 @@
 // Advance (busy CPU cycles, which occupy their core), Idle (waiting without
 // using the core), Block/Wake (for locks and queues), and Now.
 //
+// Engines are reusable: Reset returns an engine to its post-NewEngine
+// state without reallocating core arrays or proc slots. On a pooled
+// engine (NewPooledEngine), a proc goroutine that finishes its body parks
+// in a per-engine free list instead of exiting, so Spawn on a reused
+// engine resumes a parked goroutine with a new body (one channel send)
+// rather than starting a fresh one; Close releases the parked goroutines.
+// A reused engine produces bit-for-bit identical runs to a fresh engine
+// with the same seed. Plain NewEngine keeps the exit-on-done lifecycle,
+// so dropping such an engine leaks nothing even without Close.
+//
 // Virtual time is measured in CPU cycles of the modeled 2.4 GHz machine
 // (see internal/topo).
 package sim
@@ -25,12 +35,25 @@ import (
 type procState int
 
 const (
-	stateNew procState = iota
-	stateRunnable
+	stateRunnable procState = iota
 	stateRunning
 	stateBlocked
 	stateDone
 )
+
+// resumeMsg is what the engine sends a parked proc goroutine: either a new
+// local time to run at, or a kill order (Reset/Close reclaiming the
+// goroutine).
+type resumeMsg struct {
+	t    int64
+	kill bool
+	exit bool // with kill: exit the goroutine instead of re-parking
+}
+
+// killed is the sentinel panic value that unwinds a proc body when its
+// engine is Reset while the proc is parked mid-body (e.g. blocked at the
+// time of a deadlock panic). Bodies must not recover it.
+type killed struct{}
 
 // Proc is a simulated thread of execution pinned to a core. All methods must
 // be called only from within the proc's own body function, except where
@@ -46,8 +69,9 @@ type Proc struct {
 	eng    *Engine
 	time   int64
 	state  procState
-	resume chan int64 // engine -> proc: your new local time; run
-	seq    uint64     // tie-break key, refreshed on each enqueue
+	resume chan resumeMsg // engine -> proc: your new local time; run
+	seq    uint64         // tie-break key, refreshed on each enqueue
+	gen    uint64         // engine generation this slot was last listed in
 
 	user, sys int64 // accumulated user/system busy cycles
 
@@ -69,14 +93,30 @@ type Engine struct {
 	// Rand is the engine-wide deterministic PRNG.
 	Rand *xrand.Rand
 
-	procs    []*Proc
+	procs    []*Proc // unique proc slots touched by the current run
 	runnable procHeap
 	coreFree []int64 // cycle at which each core next becomes free
 	stop     chan stopMsg
 	seq      uint64
 	running  bool
-	live     int   // procs not yet done
-	now      int64 // time of the most recently dispatched proc
+	live     int    // procs not yet done
+	now      int64  // time of the most recently dispatched proc
+	spawned  int    // spawns in the current run (assigns Proc.ID)
+	gen      uint64 // bumped by Reset; marks procs as listed this run
+
+	// pooled selects the proc-goroutine lifecycle: when true (the sweep
+	// arena's engines), finished procs park in freeProcs for reuse; when
+	// false (plain NewEngine), they exit as soon as their body is done,
+	// so an abandoned engine cannot leak parked goroutines. Immutable
+	// after construction.
+	pooled bool
+	// freeProcs holds proc slots whose goroutines are parked between
+	// bodies; Spawn pops one instead of starting a new goroutine. Pushes
+	// and pops are serialized by the engine's one-proc-at-a-time dispatch
+	// (or happen from Reset with no proc running), so a plain slice is
+	// deterministic.
+	freeProcs []*Proc
+	killAck   chan struct{}
 
 	userByCore []int64
 	sysByCore  []int64
@@ -96,48 +136,201 @@ const (
 )
 
 // NewEngine returns an engine for the given machine with a deterministic
-// PRNG seed.
+// PRNG seed. Proc goroutines exit when their bodies finish; use
+// NewPooledEngine when the engine will be Reset and reused.
 func NewEngine(m *topo.Machine, seed uint64) *Engine {
 	return &Engine{
 		Machine:    m,
 		Rand:       xrand.New(seed),
 		coreFree:   make([]int64, m.NCores),
 		stop:       make(chan stopMsg, 1),
+		killAck:    make(chan struct{}),
 		userByCore: make([]int64, m.NCores),
 		sysByCore:  make([]int64, m.NCores),
+		gen:        1, // fresh proc slots carry gen 0, so they always list
 	}
+}
+
+// NewPooledEngine returns a reusable engine: finished proc goroutines
+// park in the engine's free list for the next Spawn instead of exiting,
+// which is what makes Reset-and-rerun cycles cheap. Call Close before
+// dropping a pooled engine, or its parked goroutines live for the rest of
+// the process.
+func NewPooledEngine(m *topo.Machine, seed uint64) *Engine {
+	e := NewEngine(m, seed)
+	e.pooled = true
+	return e
+}
+
+// Reset returns the engine to its post-NewEngine state for the same
+// machine and the given seed, without reallocating core arrays, heap
+// storage, or proc slots. On a pooled engine, goroutines the previous run
+// left parked (all of them after a normal Run; blocked ones after a
+// recovered deadlock panic) are reclaimed into the free list, so the next
+// Spawn/Run cycle reuses them. A reset engine produces bit-for-bit
+// identical runs to a fresh engine built with NewEngine(machine, seed).
+func (e *Engine) Reset(seed uint64) { e.ResetFor(e.Machine, seed) }
+
+// ResetFor is Reset onto a (possibly different) machine: the sweep arena
+// reuses one engine across core counts, so the per-core arrays are
+// reallocated only when the new machine needs more cores than the engine
+// has ever seen.
+func (e *Engine) ResetFor(m *topo.Machine, seed uint64) {
+	if e.running {
+		panic("sim: Reset of a running engine")
+	}
+	// Reclaim every proc slot the previous run did not finish: a kill
+	// message unwinds a goroutine parked mid-body (blocked at deadlock
+	// time) back to its parking loop; one parked at the loop top (spawned
+	// but never dispatched) just acknowledges. On a pooled engine the
+	// goroutine ends up parked and reusable; otherwise it exits.
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue // pooled: already in freeProcs; plain: already exited
+		}
+		p.resume <- resumeMsg{kill: true}
+		<-e.killAck
+		p.state = stateDone
+		if e.pooled {
+			e.freeProcs = append(e.freeProcs, p)
+		}
+	}
+	e.Machine = m
+	e.Rand.Reseed(seed)
+	e.coreFree = resizeZero(e.coreFree, m.NCores)
+	e.userByCore = resizeZero(e.userByCore, m.NCores)
+	e.sysByCore = resizeZero(e.sysByCore, m.NCores)
+	e.procs = e.procs[:0]
+	e.runnable = e.runnable[:0]
+	e.seq = 0
+	e.live = 0
+	e.now = 0
+	e.spawned = 0
+	e.gen++
+	select { // a stopMsg can never be pending here, but stay safe
+	case <-e.stop:
+	default:
+	}
+}
+
+// Close resets the engine and releases every parked proc goroutine. The
+// engine remains usable (the next Spawn starts fresh goroutines); Close
+// exists so an engine can be dropped without leaking its parked
+// goroutines, and so tests can assert the free list drains.
+func (e *Engine) Close() {
+	e.Reset(1)
+	for _, p := range e.freeProcs {
+		p.resume <- resumeMsg{kill: true, exit: true}
+		<-e.killAck
+	}
+	e.freeProcs = e.freeProcs[:0]
+}
+
+// NumParked returns how many proc goroutines are parked in the free list
+// awaiting reuse.
+func (e *Engine) NumParked() int { return len(e.freeProcs) }
+
+// resizeZero returns s resized to n elements, all zero, reusing the
+// backing array when it is large enough.
+func resizeZero(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // Spawn creates a proc pinned to the given core, starting at the given
 // virtual time, with the given body. It may be called before Run or from
 // inside a running proc (e.g. fork); in the latter case the child's start
-// time should be >= the parent's current time to preserve causality.
+// time should be >= the parent's current time to preserve causality. When
+// the free list holds a parked goroutine, Spawn reuses its slot instead of
+// starting a new goroutine.
 func (e *Engine) Spawn(core int, name string, start int64, body func(*Proc)) *Proc {
 	if core < 0 || core >= e.Machine.NCores {
 		panic(fmt.Sprintf("sim: spawn on core %d of %d", core, e.Machine.NCores))
 	}
-	p := &Proc{
-		ID:     len(e.procs),
-		Name:   name,
-		core:   core,
-		eng:    e,
-		time:   start,
-		state:  stateNew,
-		resume: make(chan int64),
-		body:   body,
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		p = e.freeProcs[n-1]
+		e.freeProcs = e.freeProcs[:n-1]
+		p.ID = e.spawned
+		p.Name = name
+		p.core = core
+		p.time = start
+		p.user, p.sys = 0, 0
+		p.body = body
+	} else {
+		p = &Proc{
+			ID:     e.spawned,
+			Name:   name,
+			core:   core,
+			eng:    e,
+			time:   start,
+			resume: make(chan resumeMsg),
+			body:   body,
+		}
+		go p.loop()
 	}
-	e.procs = append(e.procs, p)
+	e.spawned++
+	if p.gen != e.gen {
+		// A slot reused within the same run is already listed.
+		p.gen = e.gen
+		e.procs = append(e.procs, p)
+	}
 	e.live++
 	e.enqueue(p)
 	return p
 }
 
+// loop is the body of a proc goroutine: park until dispatched, run the
+// currently assigned body to completion, then — on a pooled engine — park
+// again for the next assignment. On a plain engine the goroutine exits
+// after one body (or one kill), the pre-arena lifecycle; on a pooled one
+// it exits only on an explicit kill+exit order (Engine.Close).
+func (p *Proc) loop() {
+	pooled := p.eng.pooled
+	for {
+		m := <-p.resume
+		if m.kill {
+			p.eng.killAck <- struct{}{}
+			if m.exit || !pooled {
+				return
+			}
+			continue
+		}
+		p.time = m.t
+		p.runBody()
+		if !pooled {
+			return
+		}
+	}
+}
+
+// runBody executes the proc's assigned body and retires it. A killed
+// sentinel (Engine.Reset unwinding a body parked mid-run) is absorbed here
+// so the goroutine survives to park again; any other panic propagates.
+func (p *Proc) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				p.eng.killAck <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.body(p)
+	p.yieldTo(yieldDone)
+}
+
 func (e *Engine) enqueue(p *Proc) {
 	e.seq++
 	p.seq = e.seq
-	if p.state != stateNew {
-		p.state = stateRunnable
-	}
+	p.state = stateRunnable
 	heap.Push(&e.runnable, p)
 }
 
@@ -170,19 +363,12 @@ func (e *Engine) Run() {
 }
 
 // dispatch starts or resumes a proc. The caller must have popped it from
-// the runnable heap and set e.now to its time.
+// the runnable heap and set e.now to its time. Whether the proc is parked
+// at its loop top (about to run a new body) or mid-body (returning from a
+// yield), resuming it is the same one channel send.
 func (e *Engine) dispatch(next *Proc) {
-	if next.state == stateNew {
-		next.state = stateRunning
-		go func(p *Proc) {
-			p.time = <-p.resume
-			p.body(p)
-			p.yieldTo(yieldDone)
-		}(next)
-	} else {
-		next.state = stateRunning
-	}
-	next.resume <- next.time
+	next.state = stateRunning
+	next.resume <- resumeMsg{t: next.time}
 }
 
 // peekMin returns the runnable proc with the smallest (time, seq) key
@@ -266,6 +452,11 @@ func (p *Proc) yieldTo(kind yieldKind) {
 		e.userByCore[p.core] += p.user
 		e.sysByCore[p.core] += p.sys
 		p.user, p.sys = 0, 0
+		if e.pooled {
+			// Park the slot for reuse before dispatching the next proc,
+			// so a Spawn later in this very run can already resume it.
+			e.freeProcs = append(e.freeProcs, p)
+		}
 	}
 	if e.live == 0 {
 		e.stop <- stopMsg{}
@@ -273,10 +464,11 @@ func (p *Proc) yieldTo(kind yieldKind) {
 	}
 	if e.runnable.Len() == 0 {
 		// Every remaining proc is blocked; Run reports the deadlock. A
-		// blocked yielder parks forever (the process is about to panic).
+		// blocked yielder parks until Reset reclaims it (the engine is
+		// about to panic).
 		e.stop <- stopMsg{deadlock: true}
 		if kind != yieldDone {
-			p.time = <-p.resume
+			p.recv()
 		}
 		return
 	}
@@ -286,7 +478,18 @@ func (p *Proc) yieldTo(kind yieldKind) {
 	if kind == yieldDone {
 		return
 	}
-	p.time = <-p.resume
+	p.recv()
+}
+
+// recv parks the proc mid-body until the engine resumes it. A kill message
+// (Engine.Reset reclaiming the goroutine) unwinds the body via the killed
+// sentinel, absorbed in runBody.
+func (p *Proc) recv() {
+	m := <-p.resume
+	if m.kill {
+		panic(killed{})
+	}
+	p.time = m.t
 }
 
 // Now returns the proc's current virtual time in cycles.

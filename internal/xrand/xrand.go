@@ -12,10 +12,19 @@ type Rand struct {
 // New returns a generator seeded with the given value. A zero seed is
 // remapped to a fixed nonzero constant, since xorshift cannot leave state 0.
 func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator in place to the exact state New(seed)
+// returns, so a reused generator replays the same sequence as a fresh one
+// (the engine-reuse determinism guarantee relies on this).
+func (r *Rand) Reseed(seed uint64) {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &Rand{state: seed}
+	r.state = seed
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -36,7 +36,45 @@ type Options struct {
 	// that stream through the memory system (Metis, pedsort, gmake,
 	// PostgreSQL): "local" (default), "striped", "remote", or "home:N".
 	Placement string
+	// Cache, when non-nil, memoizes sweep points by (experiment, variant,
+	// cores, seed, quick, placement), so a repeated grid run is served
+	// without simulating. Open one with OpenCache and Save it when done.
+	Cache *Cache
+	// FreshEngines disables the engine arena: every sweep point builds a
+	// brand-new simulation engine instead of resetting a pooled one.
+	// Results are identical either way; this is an escape hatch and
+	// comparison knob.
+	FreshEngines bool
 }
+
+// Cache is a handle to an on-disk sweep-point cache shared across runs.
+// Entries are keyed by (experiment, variant, cores, seed, quick,
+// placement) and versioned by a schema hash, so stale caches written by
+// older binaries self-invalidate.
+type Cache struct {
+	inner *harness.Cache
+}
+
+// OpenCache opens (creating if needed) the point cache stored in dir.
+func OpenCache(dir string) (*Cache, error) {
+	c, err := harness.OpenCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{inner: c}, nil
+}
+
+// Save writes the cache back to its directory.
+func (c *Cache) Save() error { return c.inner.Save() }
+
+// Hits returns how many lookups were served from the cache.
+func (c *Cache) Hits() int64 { return c.inner.Hits() }
+
+// Misses returns how many lookups fell through to simulation.
+func (c *Cache) Misses() int64 { return c.inner.Misses() }
+
+// Len returns the number of cached points.
+func (c *Cache) Len() int { return c.inner.Len() }
 
 // Point is one measurement.
 type Point struct {
@@ -79,6 +117,30 @@ func (s *Series) Get(variant string, cores int) (Point, bool) {
 	return Point{}, false
 }
 
+// BenchResult is one machine-readable performance measurement of the
+// simulator itself (engine dispatch, handoff, sweep wall-clock).
+type BenchResult struct {
+	Name    string
+	NsPerOp float64
+	Ops     int64
+}
+
+// WriteBenchJSON runs the simulator's performance microbenchmarks (engine
+// dispatch fast path, proc handoff, fresh vs reused spawn/run cycles, and
+// quick-sweep wall-clock cold vs warm-cache) and writes them as JSON to
+// path — the machine-readable artifact cmd/mosbench -benchjson emits.
+func WriteBenchJSON(path string) ([]BenchResult, error) {
+	rs, err := harness.WriteBenchJSON(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchResult
+	for _, r := range rs {
+		out = append(out, BenchResult{Name: r.Name, NsPerOp: r.NsPerOp, Ops: r.Ops})
+	}
+	return out, nil
+}
+
 // Experiment describes one runnable paper artifact.
 type Experiment struct {
 	ID    string
@@ -105,10 +167,14 @@ func Run(id string, o Options) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	hs := e.Run(harness.Options{
+	ho := harness.Options{
 		Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial,
-		Placement: pl,
-	})
+		Placement: pl, FreshEngines: o.FreshEngines,
+	}
+	if o.Cache != nil {
+		ho.Cache = o.Cache.inner
+	}
+	hs := e.Run(ho)
 	s := &Series{ID: hs.ID, Title: hs.Title, Unit: hs.Unit, Notes: hs.Notes, inner: hs}
 	for _, p := range hs.Points {
 		s.Point = append(s.Point, Point{

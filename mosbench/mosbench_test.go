@@ -1,6 +1,7 @@
 package mosbench
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -46,6 +47,49 @@ func TestRunQuickFig5(t *testing.T) {
 	}
 	if !strings.Contains(s.CSV(), "fig5,") {
 		t.Error("CSV() output missing rows")
+	}
+}
+
+func TestCacheServesRepeatedRuns(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Quick: true, Cache: c}
+	first, err := Run("fig5", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits() != 0 || c.Misses() == 0 {
+		t.Fatalf("cold run: %d hits, %d misses; want all misses", c.Hits(), c.Misses())
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := Run("fig5", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Hits(), int64(len(first.Point)); got != want {
+		t.Errorf("warm run hits = %d, want %d (every point)", got, want)
+	}
+	if !reflect.DeepEqual(first.Point, second.Point) {
+		t.Errorf("cached points differ:\nfirst:  %+v\nsecond: %+v", first.Point, second.Point)
+	}
+}
+
+func TestFreshEnginesMatchesArena(t *testing.T) {
+	a, err := Run("scount", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("scount", Options{Quick: true, FreshEngines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Error("arena and fresh-engine runs differ through the public API")
 	}
 }
 
