@@ -11,13 +11,19 @@
 //	mosbench -experiment ht -placement striped
 //	mosbench -all -quick
 //	mosbench -all -cores 1..48 -cache ./sweepcache   (second run: all hits)
+//	mosbench -all -cache ./sweepcache -verbose -cachestats stats.json
 //	mosbench -benchjson BENCH_sweep.json
+//
+// -benchjson runs the simulator microbenchmark suite and exits; it
+// ignores every other flag.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -36,10 +42,18 @@ func main() {
 		serial  = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
 		place   = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
 		cache   = flag.String("cache", "", "directory for the on-disk sweep-point cache: repeated grid runs are served without simulating")
-		verbose = flag.Bool("verbose", false, "report cache hit/miss counters after the run (requires -cache)")
-		bench   = flag.String("benchjson", "", "write simulator microbenchmarks (engine dispatch, handoff, sweep wall-clock) as JSON to this path and exit")
+		verbose = flag.Bool("verbose", false, "report per-experiment cache hit/miss/invalidation counters after the run (requires -cache)")
+		stats   = flag.String("cachestats", "", "write per-experiment cache hit/miss stats as JSON to this path after the run (requires -cache)")
+		bench   = flag.String("benchjson", "", "write simulator microbenchmarks (engine dispatch, handoff, sweep wall-clock) as JSON to this path and exit, ignoring every other flag")
 	)
 	flag.Parse()
+
+	if *verbose && *cache == "" && *bench == "" {
+		fatalUsage("-verbose reports cache counters, so it needs -cache <dir>; run with e.g. -cache ./sweepcache -verbose")
+	}
+	if *stats != "" && *cache == "" && *bench == "" {
+		fatalUsage("-cachestats writes cache counters, so it needs -cache <dir>; run with e.g. -cache ./sweepcache -cachestats stats.json")
+	}
 
 	if *bench != "" {
 		results, err := mosbench.WriteBenchJSON(*bench)
@@ -100,9 +114,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mosbench: cache save:", err)
 			}
 		}
+		cs := o.Cache.Stats()
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d points stored (%s)\n",
-				o.Cache.Hits(), o.Cache.Misses(), o.Cache.Len(), *cache)
+			reportCacheStats(cs, o.Cache.Len(), *cache)
+		}
+		if *stats != "" {
+			if err := writeCacheStats(*stats, cs); err != nil {
+				if runErr == nil {
+					runErr = err
+				} else {
+					fmt.Fprintln(os.Stderr, "mosbench: cache stats:", err)
+				}
+			}
 		}
 	}
 	if runErr != nil {
@@ -161,6 +184,40 @@ func parseCoreCount(s string) (int, error) {
 		return 0, fmt.Errorf("core count %d out of range [1,48]", n)
 	}
 	return n, nil
+}
+
+// reportCacheStats prints the totals plus one line per experiment that
+// saw cache activity this run.
+func reportCacheStats(cs mosbench.CacheStats, points int, dir string) {
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d invalidated, %d points stored (%s)\n",
+		cs.Hits, cs.Misses, cs.Invalidated, points, dir)
+	var ids []string
+	for id, e := range cs.Experiments {
+		if e.Hits+e.Misses+e.Invalidated > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := cs.Experiments[id]
+		fmt.Fprintf(os.Stderr, "cache: %-16s %4d hits %4d misses %4d invalidated %4d points\n",
+			id, e.Hits, e.Misses, e.Invalidated, e.Points)
+	}
+}
+
+// writeCacheStats writes the stats snapshot as JSON (the CI artifact
+// uploaded next to BENCH_sweep.json).
+func writeCacheStats(path string, cs mosbench.CacheStats) error {
+	data, err := json.MarshalIndent(cs, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatalUsage(msg string) {
+	fmt.Fprintln(os.Stderr, "mosbench:", msg)
+	os.Exit(2)
 }
 
 func fatal(err error) {

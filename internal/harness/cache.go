@@ -4,25 +4,29 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 )
 
-// cacheVersion is bumped whenever the meaning of cached values changes
-// without the Point struct changing shape (e.g. a cost-model retune that
-// should invalidate old results).
-const cacheVersion = 1
+// cacheVersion is bumped whenever the meaning of cached values changes in
+// a way neither the Point schema nor the cost-model fingerprints capture
+// (e.g. a change to the key format itself).
+const cacheVersion = 2
 
-// cacheSchema fingerprints the cache's value type and key format: the
-// version plus every Point field name and type. A cache file written under
-// a different schema self-invalidates on load, so refactors of Point can
-// never resurface stale entries.
+// cacheSchema fingerprints the cache's shape: the version, the section and
+// key formats, and every Point field name and type. It is the outer guard:
+// a cache file written under a different schema self-invalidates wholesale
+// on load, so refactors of Point can never resurface stale entries.
+// Cost-model retunes are NOT part of the schema — they invalidate per
+// experiment through the fingerprint stored in each section.
 var cacheSchema = func() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d|key=exp|variant|cores|seed|quick|placement|", cacheVersion)
+	fmt.Fprintf(h, "v%d|sections=experiment:fingerprint|key=variant|cores|seed|quick|placement|", cacheVersion)
 	t := reflect.TypeOf(Point{})
 	for i := 0; i < t.NumField(); i++ {
 		fmt.Fprintf(h, "%s %s|", t.Field(i).Name, t.Field(i).Type)
@@ -33,73 +37,193 @@ var cacheSchema = func() string {
 // cacheFileName is the single JSON file a cache directory holds.
 const cacheFileName = "points.json"
 
+// cacheSection holds one experiment's points, stamped with the combined
+// cost-model fingerprint they were computed under (see fingerprintFor).
+// A section whose fingerprint no longer matches the running binary's is
+// dropped — and only that section: every other experiment's points stay.
+type cacheSection struct {
+	Fingerprint string           `json:"fingerprint"`
+	Points      map[string]Point `json:"points"`
+}
+
 // cacheFile is the on-disk representation.
 type cacheFile struct {
-	Schema string           `json:"schema"`
-	Points map[string]Point `json:"points"`
+	Schema      string                   `json:"schema"`
+	Experiments map[string]*cacheSection `json:"experiments"`
 }
 
-// Cache is a content-addressed store of sweep points keyed by
-// (experiment, variant, cores, seed, quick, placement). A warm cache lets
-// a repeated full-grid run skip simulation entirely: every measurement the
-// harness would compute is looked up first and stored on miss. The cache
-// is safe for the concurrent sweep workers; Save writes it back to disk.
+// expCounters tracks one experiment's lookup outcomes.
+type expCounters struct {
+	hits, misses, invalidated int64
+}
+
+// Cache is a content-addressed store of sweep points, one section per
+// experiment, each section keyed by (variant, cores, seed, quick,
+// placement) and stamped with the experiment's cost-model fingerprint. A
+// warm cache lets a repeated full-grid run skip simulation entirely;
+// retuning one cost domain invalidates only the experiments that declare
+// it. The cache is safe for the concurrent sweep workers; Save merges
+// with the current on-disk contents and writes atomically, so concurrent
+// processes sharing a directory do not drop each other's points.
 type Cache struct {
 	path string
+	logf func(format string, args ...any)
 
-	mu     sync.Mutex
-	points map[string]Point
-	hits   int64
-	misses int64
-	dirty  bool
+	mu       sync.Mutex
+	sections map[string]*cacheSection
+	stats    map[string]*expCounters
+	hits     int64
+	misses   int64
+	dirty    bool
 }
 
-// OpenCache opens (creating if needed) the point cache in dir. A cache
-// file written by a different schema version is ignored, so stale entries
-// self-invalidate after refactors.
-func OpenCache(dir string) (*Cache, error) {
+// OpenCache opens (creating if needed) the point cache in dir, silently.
+// Use OpenCacheLogged to hear about ignored stale/corrupt files.
+func OpenCache(dir string) (*Cache, error) { return OpenCacheLogged(dir, nil) }
+
+// OpenCacheLogged opens (creating if needed) the point cache in dir. A
+// cache file that does not parse or was written under a different schema
+// version is ignored (the cache starts empty), and orphan temp files left
+// by an interrupted Save are removed; each such event is reported as one
+// line through logf (ignored when nil).
+func OpenCacheLogged(dir string, logf func(format string, args ...any)) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: cache dir: %w", err)
 	}
 	c := &Cache{
-		path:   filepath.Join(dir, cacheFileName),
-		points: map[string]Point{},
+		path:     filepath.Join(dir, cacheFileName),
+		logf:     logf,
+		sections: map[string]*cacheSection{},
+		stats:    map[string]*expCounters{},
 	}
-	data, err := os.ReadFile(c.path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return c, nil
+	// A crash (or full disk) between Save's temp-file write and rename
+	// strands a points.json.tmp* next to the cache; it will never be
+	// renamed, so clean it up rather than letting orphans accumulate.
+	if orphans, _ := filepath.Glob(c.path + ".tmp*"); len(orphans) > 0 {
+		for _, orphan := range orphans {
+			os.Remove(orphan)
 		}
-		return nil, fmt.Errorf("harness: cache read: %w", err)
+		c.warnf("harness: cache: removed %d orphan temp file(s) left by an interrupted save in %s", len(orphans), dir)
 	}
-	var f cacheFile
-	if err := json.Unmarshal(data, &f); err != nil || f.Schema != cacheSchema {
-		// Unparsable or stale-schema caches start over empty.
-		return c, nil
-	}
-	if f.Points != nil {
-		c.points = f.Points
+	f, err := readCacheFile(c.path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh directory.
+	case err != nil:
+		c.warnf("harness: cache: ignoring %s (%v); starting empty", c.path, err)
+	case f.Schema != cacheSchema:
+		c.warnf("harness: cache: ignoring %s written under schema %s (current %s); starting empty",
+			c.path, f.Schema, cacheSchema)
+	default:
+		for exp, s := range f.Experiments {
+			if s == nil {
+				continue
+			}
+			if s.Points == nil {
+				s.Points = map[string]Point{}
+			}
+			c.sections[exp] = s
+		}
 	}
 	return c, nil
 }
 
-// Save writes the cache back to its directory (atomically: temp file +
-// rename). Saving an unchanged cache is a no-op.
+// readCacheFile reads and parses the cache file at path. The caller
+// compares the returned Schema against cacheSchema.
+func readCacheFile(path string) (*cacheFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("unparsable cache file: %w", err)
+	}
+	return &f, nil
+}
+
+// warnf reports a one-line condition through the optional logger.
+func (c *Cache) warnf(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// Save writes the cache back to its directory. The current on-disk
+// contents are merged in first — section by section, points from both
+// sides kept wherever the fingerprints agree, the current fingerprint's
+// side winning where they do not — so two processes sharing a cache
+// directory never silently drop each other's points. The write itself is
+// atomic (unique temp file + rename). Saving an unchanged cache is a
+// no-op.
 func (c *Cache) Save() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.dirty {
 		return nil
 	}
-	data, err := json.MarshalIndent(cacheFile{Schema: cacheSchema, Points: c.points}, "", " ")
+	// Serialize the read-merge-rename against other processes sharing the
+	// directory; without this, a save racing between another writer's read
+	// and rename could still drop its points. Best-effort: if locking is
+	// unavailable the merge still runs, it just keeps the narrow race.
+	if release, err := lockFile(c.path + ".lock"); err == nil {
+		defer release()
+	} else {
+		c.warnf("harness: cache: saving without cross-process lock (%v)", err)
+	}
+	if f, err := readCacheFile(c.path); err == nil && f.Schema == cacheSchema {
+		for exp, theirs := range f.Experiments {
+			if theirs == nil || len(theirs.Points) == 0 {
+				continue
+			}
+			ours, ok := c.sections[exp]
+			if !ok {
+				// An experiment only another process ran: keep it.
+				c.sections[exp] = theirs
+				continue
+			}
+			if ours.Fingerprint != theirs.Fingerprint {
+				// Disagreeing fingerprints: the side computed under the
+				// current cost model wins. In particular a section this
+				// process only loaded (never ran) must not clobber points
+				// another process just computed under the current
+				// fingerprint.
+				if cur := fingerprintFor(exp); theirs.Fingerprint == cur && ours.Fingerprint != cur {
+					c.sections[exp] = theirs
+				}
+				continue
+			}
+			for k, v := range theirs.Points {
+				if _, exists := ours.Points[k]; !exists {
+					ours.Points[k] = v
+				}
+			}
+		}
+	} else if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		c.warnf("harness: cache: overwriting %s rather than merging (%v)", c.path, err)
+	}
+	data, err := json.MarshalIndent(cacheFile{Schema: cacheSchema, Experiments: c.sections}, "", " ")
 	if err != nil {
 		return fmt.Errorf("harness: cache encode: %w", err)
 	}
-	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// A unique temp name per writer keeps concurrent saves from clobbering
+	// each other's in-flight files; OpenCache sweeps up any orphans.
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), cacheFileName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache write: %w", err)
 	}
-	if err := os.Rename(tmp, c.path); err != nil {
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache close: %w", err)
+	}
+	os.Chmod(tmp.Name(), 0o644)
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache rename: %w", err)
 	}
 	c.dirty = false
@@ -120,39 +244,117 @@ func (c *Cache) Misses() int64 {
 	return c.misses
 }
 
-// Len returns the number of cached points.
+// Len returns the number of cached points across all experiments.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.points)
+	n := 0
+	for _, s := range c.sections {
+		n += len(s.Points)
+	}
+	return n
 }
 
-func (c *Cache) lookup(key string) (Point, bool) {
+// ExperimentCacheStats is one experiment's cache activity.
+type ExperimentCacheStats struct {
+	// Hits and Misses count this cache's lookups for the experiment.
+	Hits, Misses int64
+	// Invalidated counts stored points dropped because the experiment's
+	// cost-model fingerprint changed since they were computed.
+	Invalidated int64
+	// Points is the number of points currently cached.
+	Points int
+}
+
+// CacheStats reports per-experiment hit/miss/invalidation counts plus the
+// totals.
+type CacheStats struct {
+	Hits, Misses, Invalidated int64
+	Experiments               map[string]ExperimentCacheStats
+}
+
+// Stats returns a snapshot of the cache's activity since it was opened.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.points[key]
+	out := CacheStats{Hits: c.hits, Misses: c.misses, Experiments: map[string]ExperimentCacheStats{}}
+	for exp, s := range c.sections {
+		e := out.Experiments[exp]
+		e.Points = len(s.Points)
+		out.Experiments[exp] = e
+	}
+	for exp, st := range c.stats {
+		e := out.Experiments[exp]
+		e.Hits, e.Misses, e.Invalidated = st.hits, st.misses, st.invalidated
+		out.Experiments[exp] = e
+		out.Invalidated += st.invalidated
+	}
+	return out
+}
+
+// expStats returns exp's counters, creating them on first use. Caller
+// holds c.mu.
+func (c *Cache) expStats(exp string) *expCounters {
+	st := c.stats[exp]
+	if st == nil {
+		st = &expCounters{}
+		c.stats[exp] = st
+	}
+	return st
+}
+
+// section returns exp's section primed for fingerprint fp: a missing
+// section is created empty, and a section computed under a different
+// fingerprint has its points dropped (counted as invalidated) — the
+// per-experiment replacement for the old wholesale cache version bump.
+// Caller holds c.mu.
+func (c *Cache) section(exp, fp string) *cacheSection {
+	s := c.sections[exp]
+	if s == nil {
+		s = &cacheSection{Fingerprint: fp, Points: map[string]Point{}}
+		c.sections[exp] = s
+		return s
+	}
+	if s.Fingerprint != fp {
+		if n := len(s.Points); n > 0 {
+			c.expStats(exp).invalidated += int64(n)
+			c.dirty = true // purge the stale points from disk on Save
+		}
+		s.Fingerprint = fp
+		s.Points = map[string]Point{}
+	}
+	return s
+}
+
+func (c *Cache) lookup(exp, fp, key string) (Point, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.section(exp, fp).Points[key]
+	st := c.expStats(exp)
 	if ok {
 		c.hits++
+		st.hits++
 	} else {
 		c.misses++
+		st.misses++
 	}
 	return p, ok
 }
 
-func (c *Cache) store(key string, p Point) {
+func (c *Cache) store(exp, fp, key string, p Point) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.points[key] = p
+	c.section(exp, fp).Points[key] = p
 	c.dirty = true
 }
 
-// cacheKey addresses one measurement. Everything a point's value depends
-// on must appear here: the experiment, the variant label, the core count,
-// and the run options that change simulated behavior (seed, quick
-// budgets, global placement policy).
-func (o Options) cacheKey(exp, variant string, cores int) string {
-	return fmt.Sprintf("%s|%s|%d|seed=%d|quick=%t|placement=%s",
-		exp, variant, cores, o.seed(), o.Quick, o.Placement.String())
+// cacheKey addresses one measurement within an experiment's section.
+// Everything a point's value depends on must appear either here (variant,
+// cores, and the run options that change simulated behavior) or in the
+// section's cost-model fingerprint (the experiment's tuning constants).
+func (o Options) cacheKey(variant string, cores int) string {
+	return fmt.Sprintf("%s|%d|seed=%d|quick=%t|placement=%s",
+		variant, cores, o.seed(), o.Quick, o.Placement.String())
 }
 
 // cachedPoint returns the cached measurement for (exp, variant, cores)
@@ -162,11 +364,12 @@ func (o Options) cachedPoint(exp, variant string, cores int, f func() Point) Poi
 	if o.Cache == nil {
 		return f()
 	}
-	key := o.cacheKey(exp, variant, cores)
-	if p, ok := o.Cache.lookup(key); ok {
+	fp := fingerprintFor(exp)
+	key := o.cacheKey(variant, cores)
+	if p, ok := o.Cache.lookup(exp, fp, key); ok {
 		return p
 	}
 	p := f()
-	o.Cache.store(key, p)
+	o.Cache.store(exp, fp, key, p)
 	return p
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package harness
+
+import "errors"
+
+// lockFile is unavailable off unix; Save proceeds without cross-process
+// serialization (the in-process mutex still holds, and the merge itself
+// still runs — only the narrow read-to-rename race window remains).
+func lockFile(path string) (release func(), err error) {
+	return nil, errors.New("file locking not supported on this platform")
+}

@@ -1,0 +1,387 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// cachingExperiments returns the IDs of every registered experiment that
+// actually consults the cache (declares cost domains and produced at
+// least one lookup in a probe run). Derived, not hard-coded, so new
+// experiments are covered automatically.
+func cachingExperiments(t *testing.T, seed uint64) []string {
+	t.Helper()
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		e.Run(Options{Quick: true, Seed: seed, Cache: c})
+	}
+	var out []string
+	for exp, st := range c.Stats().Experiments {
+		if st.Hits+st.Misses > 0 {
+			out = append(out, exp)
+		}
+	}
+	if len(out) < 5 {
+		t.Fatalf("only %d experiments consult the cache; wiring broken? (%v)", len(out), out)
+	}
+	return out
+}
+
+// TestFingerprintInvalidationIsPerExperiment pins the incremental
+// invalidation acceptance criterion: perturb exactly one experiment's
+// stored cost-model fingerprint (what a retune of its constants does),
+// then re-run the full suite warm — only that experiment re-simulates
+// (misses > 0, stale points counted invalidated); every other experiment
+// is served entirely from cache with zero misses.
+func TestFingerprintInvalidationIsPerExperiment(t *testing.T) {
+	const seed = 11
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Quick: true, Seed: seed, Cache: c1}
+	series := map[string]*Series{}
+	for _, e := range Experiments() {
+		series[e.ID] = e.Run(o)
+	}
+	if err := c1.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb fig5's fingerprint on disk, as if memcached's tuning
+	// constants had been retuned since the cache was written.
+	const victim = "fig5"
+	path := filepath.Join(dir, cacheFileName)
+	f, err := readCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := f.Experiments[victim]
+	if sec == nil || sec.Fingerprint != fingerprintFor(victim) {
+		t.Fatalf("cache file has no current-fingerprint section for %s", victim)
+	}
+	sec.Fingerprint = "feedfacefeedface"
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := Options{Quick: true, Seed: seed, Cache: c2}
+	for _, e := range Experiments() {
+		got := e.Run(warm)
+		if !reflect.DeepEqual(got, series[e.ID]) {
+			t.Errorf("%s: warm series differs from cold series", e.ID)
+		}
+	}
+	stats := c2.Stats()
+	v := stats.Experiments[victim]
+	if v.Misses == 0 {
+		t.Errorf("%s: perturbed fingerprint did not force re-simulation (0 misses)", victim)
+	}
+	if v.Invalidated == 0 {
+		t.Errorf("%s: stale points were not counted as invalidated", victim)
+	}
+	for exp, st := range stats.Experiments {
+		if exp == victim {
+			continue
+		}
+		if st.Misses != 0 {
+			t.Errorf("%s: %d misses on a warm run; only %s should re-simulate", exp, st.Misses, victim)
+		}
+		if st.Invalidated != 0 {
+			t.Errorf("%s: %d points invalidated; only %s's fingerprint changed", exp, st.Invalidated, victim)
+		}
+	}
+}
+
+// TestDomainRetuneInvalidatesOnlyDependents models a retune in-process:
+// swapping one app domain's fingerprint must make the experiments that
+// declare it miss, while an experiment of a different app still hits.
+func TestDomainRetuneInvalidatesOnlyDependents(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Quick: true, Seed: 9, Cache: c}
+	ByID("fig4").Run(o) // exim
+	ByID("fig5").Run(o) // memcached
+
+	const domain = "apps/memcached"
+	orig, ok := costDomains[domain]
+	if !ok {
+		t.Fatalf("domain %q not registered", domain)
+	}
+	costDomains[domain] = "feedfacefeedface"
+	defer func() { costDomains[domain] = orig }()
+
+	ByID("fig4").Run(o)
+	ByID("fig5").Run(o)
+	stats := c.Stats()
+	if st := stats.Experiments["fig4"]; st.Misses != st.Hits { // cold misses == warm hits
+		t.Errorf("fig4 (exim): %d hits, %d misses; a memcached retune must not invalidate it",
+			st.Hits, st.Misses)
+	}
+	if st := stats.Experiments["fig5"]; st.Hits != 0 || st.Invalidated == 0 {
+		t.Errorf("fig5 (memcached): %d hits, %d invalidated; the retune should have dropped its points",
+			st.Hits, st.Invalidated)
+	}
+}
+
+// TestEveryCachingExperimentDeclaresDomains keeps registrations honest:
+// an experiment that consults the cache must declare an explicit domain
+// list (the all-domains fallback would silently reintroduce wholesale
+// invalidation for it).
+func TestEveryCachingExperimentDeclaresDomains(t *testing.T) {
+	for _, id := range cachingExperiments(t, 13) {
+		e := ByID(id)
+		if e == nil {
+			t.Errorf("experiment %q cached points but is not registered", id)
+			continue
+		}
+		if len(e.Domains) == 0 {
+			t.Errorf("experiment %q consults the cache but declares no cost domains", id)
+		}
+	}
+}
+
+// TestCacheSaveMergesOnDisk pins the cross-process durability fix: two
+// cache handles sharing one directory, each saving different points, must
+// both survive — last writer merges, not wins.
+func TestCacheSaveMergesOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprintFor("fig4")
+	c1.store("fig4", fp, "Stock|1|seed=1|quick=true|placement=local", Point{Cores: 1, Variant: "Stock", PerCore: 10})
+	c2.store("fig4", fp, "Stock|48|seed=1|quick=true|placement=local", Point{Cores: 48, Variant: "Stock", PerCore: 5})
+	c2.store("fig5", fingerprintFor("fig5"), "PK|8|seed=1|quick=true|placement=local", Point{Cores: 8, Variant: "PK", PerCore: 7})
+	if err := c1.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.Len(); got != 3 {
+		t.Errorf("after two merging saves the cache holds %d points, want 3", got)
+	}
+	for _, probe := range []struct{ exp, key string }{
+		{"fig4", "Stock|1|seed=1|quick=true|placement=local"},
+		{"fig4", "Stock|48|seed=1|quick=true|placement=local"},
+		{"fig5", "PK|8|seed=1|quick=true|placement=local"},
+	} {
+		if _, ok := c3.lookup(probe.exp, fingerprintFor(probe.exp), probe.key); !ok {
+			t.Errorf("point %s/%s lost across concurrent saves", probe.exp, probe.key)
+		}
+	}
+}
+
+// TestCacheSaveMergeDropsStaleSections: when the on-disk section was
+// written under an older fingerprint, the in-memory (current) section
+// wins the merge and the stale points are purged.
+func TestCacheSaveMergeDropsStaleSections(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.store("fig4", "0ldf1ngerpr1nt00", "Stock|1|seed=1|quick=true|placement=local", Point{Cores: 1, PerCore: 99})
+	if err := c1.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprintFor("fig4")
+	c2.store("fig4", fp, "Stock|1|seed=1|quick=true|placement=local", Point{Cores: 1, PerCore: 10})
+	if err := c2.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := c3.lookup("fig4", fp, "Stock|1|seed=1|quick=true|placement=local")
+	if !ok || p.PerCore != 10 {
+		t.Errorf("current-fingerprint point lost in merge: ok=%v p=%+v", ok, p)
+	}
+	if got := c3.Len(); got != 1 {
+		t.Errorf("stale section survived the merge: %d points, want 1", got)
+	}
+}
+
+// TestCacheSaveMergePrefersCurrentFingerprintOnDisk: a handle holding a
+// stale-fingerprint section it never ran (e.g. loaded from a cache file
+// written by an older cost model) must not clobber points another
+// process just computed under the current fingerprint — the side that
+// matches the current cost model wins the merge regardless of which
+// handle saves last.
+func TestCacheSaveMergePrefersCurrentFingerprintOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	key := "Stock|1|seed=1|quick=true|placement=local"
+	fp := fingerprintFor("fig4")
+
+	stale, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.store("fig4", "0ldf1ngerpr1nt00", key, Point{Cores: 1, PerCore: 99})
+
+	current, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current.store("fig4", fp, key, Point{Cores: 1, PerCore: 10})
+	if err := current.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// The stale handle saves last; its merge must adopt the disk section.
+	if err := stale.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := reopened.lookup("fig4", fp, key)
+	if !ok || p.PerCore != 10 {
+		t.Errorf("current-fingerprint point lost to a stale last writer: ok=%v p=%+v", ok, p)
+	}
+}
+
+// TestOpenCacheWarnsAndRemovesOrphanTmp pins the durability bugfixes: an
+// unparsable cache file is reported (not silently discarded), and temp
+// files stranded by an interrupted save are removed.
+func TestOpenCacheWarnsAndRemovesOrphanTmp(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, cacheFileName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, cacheFileName+".tmp123")
+	if err := os.WriteFile(orphan, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	c, err := OpenCacheLogged(dir, func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("unparsable cache produced %d points, want 0", c.Len())
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan temp file %s not removed", orphan)
+	}
+	var sawParse, sawOrphan bool
+	for _, w := range warnings {
+		if strings.Contains(w, "unparsable") {
+			sawParse = true
+		}
+		if strings.Contains(w, "orphan") {
+			sawOrphan = true
+		}
+	}
+	if !sawParse || !sawOrphan {
+		t.Errorf("warnings missing parse/orphan reports: %q", warnings)
+	}
+
+	// A stale-schema file must be reported too.
+	if err := os.WriteFile(filepath.Join(dir, cacheFileName),
+		[]byte(`{"schema":"deadbeef","experiments":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warnings = nil
+	if _, err := OpenCacheLogged(dir, func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "schema") {
+		t.Errorf("stale-schema open produced warnings %q, want one schema report", warnings)
+	}
+}
+
+// TestCacheConcurrentUse hammers lookup/store/Save from parallel workers
+// (run under -race in CI, like a parallel sweep sharing one cache) and
+// then verifies no stored point was lost.
+func TestCacheConcurrentUse(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []string{"fig4", "fig5", "fig9", "scount"}
+	const workers = 8
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerWorker; i++ {
+				exp := exps[rng.Intn(len(exps))]
+				fp := fingerprintFor(exp)
+				key := fmt.Sprintf("v%d|%d|seed=1|quick=true|placement=local", w, i)
+				if _, ok := c.lookup(exp, fp, key); !ok {
+					c.store(exp, fp, key, Point{Cores: i, Variant: fmt.Sprintf("v%d", w), PerCore: float64(i)})
+				}
+				if i%50 == 0 {
+					if err := c.Save(); err != nil {
+						t.Errorf("worker %d: save: %v", w, err)
+					}
+				}
+				_ = c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workers * opsPerWorker
+	if got := reopened.Len(); got != want {
+		t.Errorf("cache holds %d points after concurrent use, want %d", got, want)
+	}
+}

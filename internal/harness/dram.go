@@ -10,16 +10,18 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "dram",
-		Title: "Per-chip DRAM controllers: local vs striped vs remote placement",
-		Paper: "§5.8: DRAM saturation is per memory controller, not one machine-wide envelope",
-		Run:   runDRAMPlacement,
+		ID:      "dram",
+		Title:   "Per-chip DRAM controllers: local vs striped vs remote placement",
+		Paper:   "§5.8: DRAM saturation is per memory controller, not one machine-wide envelope",
+		Domains: []string{"topo", "mem"},
+		Run:     runDRAMPlacement,
 	})
 	register(Experiment{
-		ID:    "ht",
-		Title: "Finite-rate HyperTransport links: placement moves saturation between controllers and links",
-		Paper: "§5.1/§5.8: remote and striped traffic shares finite interconnect paths, so placement changes link load",
-		Run:   runHTPlacement,
+		ID:      "ht",
+		Title:   "Finite-rate HyperTransport links: placement moves saturation between controllers and links",
+		Paper:   "§5.1/§5.8: remote and striped traffic shares finite interconnect paths, so placement changes link load",
+		Domains: []string{"topo", "mem"},
+		Run:     runHTPlacement,
 	})
 }
 

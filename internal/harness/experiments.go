@@ -149,34 +149,38 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig3",
-		Title: "MOSBENCH summary: 48-core per-core throughput relative to 1 core",
-		Paper: "Figure 3: one bar pair (stock, PK) per application",
-		Run:   runFig3,
+		ID:      "fig3",
+		Title:   "MOSBENCH summary: 48-core per-core throughput relative to 1 core",
+		Paper:   "Figure 3: one bar pair (stock, PK) per application",
+		Domains: withAllApps(),
+		Run:     runFig3,
 	})
 
 	register(Experiment{
-		ID:    "fig4",
-		Title: "Exim throughput and runtime breakdown",
-		Paper: "Figure 4: messages/sec/core and CPU us/message vs cores",
+		ID:      "fig4",
+		Title:   "Exim throughput and runtime breakdown",
+		Paper:   "Figure 4: messages/sec/core and CPU us/message vs cores",
+		Domains: withApps("exim"),
 		Run: func(o Options) *Series {
 			return stockPK(o, "msg/s/core", "fig4", "Exim (Figure 4)", runExim, 1)
 		},
 	})
 
 	register(Experiment{
-		ID:    "fig5",
-		Title: "memcached throughput",
-		Paper: "Figure 5: requests/sec/core vs cores",
+		ID:      "fig5",
+		Title:   "memcached throughput",
+		Paper:   "Figure 5: requests/sec/core vs cores",
+		Domains: withApps("memcached"),
 		Run: func(o Options) *Series {
 			return stockPK(o, "req/s/core", "fig5", "memcached (Figure 5)", runMemcached, 1)
 		},
 	})
 
 	register(Experiment{
-		ID:    "fig6",
-		Title: "Apache throughput and runtime breakdown",
-		Paper: "Figure 6: requests/sec/core and CPU us/request vs cores",
+		ID:      "fig6",
+		Title:   "Apache throughput and runtime breakdown",
+		Paper:   "Figure 6: requests/sec/core and CPU us/request vs cores",
+		Domains: withApps("apache"),
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig6", Title: "Apache (Figure 6)", Unit: "req/s/core"}
 			o.runGrid(s, []variantRun{
@@ -193,23 +197,26 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig7",
-		Title: "PostgreSQL read-only workload",
-		Paper: "Figure 7: queries/sec/core and CPU us/query vs cores",
-		Run:   func(o Options) *Series { return runPostgresFig(o, "fig7", 0) },
+		ID:      "fig7",
+		Title:   "PostgreSQL read-only workload",
+		Paper:   "Figure 7: queries/sec/core and CPU us/query vs cores",
+		Domains: withApps("postgres"),
+		Run:     func(o Options) *Series { return runPostgresFig(o, "fig7", 0) },
 	})
 
 	register(Experiment{
-		ID:    "fig8",
-		Title: "PostgreSQL 95%/5% read/write workload",
-		Paper: "Figure 8: queries/sec/core and CPU us/query vs cores",
-		Run:   func(o Options) *Series { return runPostgresFig(o, "fig8", 0.05) },
+		ID:      "fig8",
+		Title:   "PostgreSQL 95%/5% read/write workload",
+		Paper:   "Figure 8: queries/sec/core and CPU us/query vs cores",
+		Domains: withApps("postgres"),
+		Run:     func(o Options) *Series { return runPostgresFig(o, "fig8", 0.05) },
 	})
 
 	register(Experiment{
-		ID:    "fig9",
-		Title: "gmake parallel kernel build",
-		Paper: "Figure 9: builds/hour/core and CPU sec/build vs cores",
+		ID:      "fig9",
+		Title:   "gmake parallel kernel build",
+		Paper:   "Figure 9: builds/hour/core and CPU sec/build vs cores",
+		Domains: withApps("gmake"),
 		Run: func(o Options) *Series {
 			// Builds/hour/core: scale jobs/sec/core by 3600.
 			return stockPK(o, "builds/hr/core", "fig9", "gmake (Figure 9)", runGmake, 3600)
@@ -217,9 +224,10 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig10",
-		Title: "Psearchy/pedsort file indexing",
-		Paper: "Figure 10: jobs/hour/core for Threads, Procs, Procs RR",
+		ID:      "fig10",
+		Title:   "Psearchy/pedsort file indexing",
+		Paper:   "Figure 10: jobs/hour/core for Threads, Procs, Procs RR",
+		Domains: withApps("pedsort"),
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig10", Title: "pedsort (Figure 10)", Unit: "jobs/hr/core"}
 			var runs []variantRun
@@ -235,9 +243,10 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig11",
-		Title: "Metis MapReduce inverted index",
-		Paper: "Figure 11: jobs/hour/core for 4KB stock vs 2MB PK, plus a striped-placement PK curve",
+		ID:      "fig11",
+		Title:   "Metis MapReduce inverted index",
+		Paper:   "Figure 11: jobs/hour/core for 4KB stock vs 2MB PK, plus a striped-placement PK curve",
+		Domains: withApps("metis"),
 		Run: func(o Options) *Series {
 			s := &Series{ID: "fig11", Title: "Metis (Figure 11)", Unit: "jobs/hr/core"}
 			var runs []variantRun
@@ -264,10 +273,11 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig12",
-		Title: "Remaining MOSBENCH bottlenecks at 48 cores on PK",
-		Paper: "Figure 12: residual bottleneck attribution (App vs HW)",
-		Run:   runFig12,
+		ID:      "fig12",
+		Title:   "Remaining MOSBENCH bottlenecks at 48 cores on PK",
+		Paper:   "Figure 12: residual bottleneck attribution (App vs HW)",
+		Domains: withAllApps(),
+		Run:     runFig12,
 	})
 }
 

@@ -18,45 +18,51 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "profile",
-		Title: "Contention profile of the stock kernel under Exim and memcached",
-		Paper: "the paper's methodology: find the locks and lines cores wait on (§1, §5.2, §5.3)",
-		Run:   runProfile,
+		ID:      "profile",
+		Title:   "Contention profile of the stock kernel under Exim and memcached",
+		Paper:   "the paper's methodology: find the locks and lines cores wait on (§1, §5.2, §5.3)",
+		Domains: withApps("exim", "memcached"),
+		Run:     runProfile,
 	})
 
 	register(Experiment{
-		ID:    "sloppy-threshold",
-		Title: "Sloppy counter spare-threshold sweep",
-		Paper: "§4.3 design choice: local spares trade space for central-counter traffic",
-		Run:   runSloppyThreshold,
+		ID:      "sloppy-threshold",
+		Title:   "Sloppy counter spare-threshold sweep",
+		Paper:   "§4.3 design choice: local spares trade space for central-counter traffic",
+		Domains: []string{"topo", "mem", "kernel"},
+		Run:     runSloppyThreshold,
 	})
 
 	register(Experiment{
-		ID:    "spool-dirs",
-		Title: "Exim spool directory sweep on PK at 48 cores",
-		Paper: "§5.2: the residual Exim bottleneck is per-directory create locks",
-		Run:   runSpoolDirs,
+		ID:      "spool-dirs",
+		Title:   "Exim spool directory sweep on PK at 48 cores",
+		Paper:   "§5.2: the residual Exim bottleneck is per-directory create locks",
+		Domains: withApps("exim"),
+		Run:     runSpoolDirs,
 	})
 
 	register(Experiment{
-		ID:    "lockmgr",
-		Title: "PostgreSQL lock-manager mutex count sweep (stock kernel, r/w)",
-		Paper: "§5.5: 16 mutexes cause false contention; modPG uses 1024 + lock-free path",
-		Run:   runLockMgr,
+		ID:      "lockmgr",
+		Title:   "PostgreSQL lock-manager mutex count sweep (stock kernel, r/w)",
+		Paper:   "§5.5: 16 mutexes cause false contention; modPG uses 1024 + lock-free path",
+		Domains: withApps("postgres"),
+		Run:     runLockMgr,
 	})
 
 	register(Experiment{
-		ID:    "steering",
-		Title: "Flow-director misdirection sweep for short connections",
-		Paper: "§4.2: sampling misdirects most packets of short connections",
-		Run:   runSteering,
+		ID:      "steering",
+		Title:   "Flow-director misdirection sweep for short connections",
+		Paper:   "§4.2: sampling misdirects most packets of short connections",
+		Domains: []string{"topo", "mem", "kernel"},
+		Run:     runSteering,
 	})
 
 	register(Experiment{
-		ID:    "scalable-locks",
-		Title: "Scalable (MCS) lock vs data refactoring on the mount table",
-		Paper: "§4.1/[41]: better locks alone cannot fix shared-data bottlenecks",
-		Run:   runScalableLocks,
+		ID:      "scalable-locks",
+		Title:   "Scalable (MCS) lock vs data refactoring on the mount table",
+		Paper:   "§4.1/[41]: better locks alone cannot fix shared-data bottlenecks",
+		Domains: withApps("exim"),
+		Run:     runScalableLocks,
 	})
 }
 

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/fprint"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+// costDomains maps each cost-model domain an experiment can declare to
+// the fingerprint of that domain's current constants. The sweep-point
+// cache stores every experiment's points under the combined fingerprint
+// of its declared domains, so retuning one domain's constants invalidates
+// only the experiments that depend on it: a memcached retune leaves every
+// cached Exim, PostgreSQL, ... figure replayable.
+//
+// Tests swap entries here (and restore them) to simulate a retune without
+// editing constants.
+var costDomains = func() map[string]string {
+	d := map[string]string{
+		"topo":   topo.Fingerprint(),
+		"mem":    mem.Fingerprint(),
+		"kernel": kernel.Fingerprint(),
+	}
+	for app, fp := range apps.Fingerprints() {
+		d["apps/"+app] = fp
+	}
+	return d
+}()
+
+// appDomains lists every per-application domain, for experiments (fig3,
+// fig12) that run the whole MOSBENCH suite.
+var appDomains = func() []string {
+	var out []string
+	for app := range apps.Fingerprints() {
+		out = append(out, "apps/"+app)
+	}
+	sort.Strings(out)
+	return out
+}()
+
+// coreDomains are the domains every simulated measurement depends on.
+var coreDomains = []string{"topo", "mem", "kernel"}
+
+// allCostDomains returns every known domain name, sorted — the
+// conservative default for experiments that declare none.
+func allCostDomains() []string {
+	out := make([]string, 0, len(costDomains))
+	for name := range costDomains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// withApps returns the core domains plus the named applications' domains.
+func withApps(appNames ...string) []string {
+	out := append([]string(nil), coreDomains...)
+	for _, a := range appNames {
+		out = append(out, "apps/"+a)
+	}
+	return out
+}
+
+// withAllApps returns the core domains plus every application's domain —
+// for the whole-suite experiments (fig3, fig12), which must invalidate on
+// any workload's retune. Derived from apps.Fingerprints, so a new
+// workload is covered without touching the registrations.
+func withAllApps() []string {
+	return append(append([]string(nil), coreDomains...), appDomains...)
+}
+
+// checkDomains panics on a declared domain that does not exist; domain
+// lists are static registration inputs, so a typo is a programming error.
+func checkDomains(id string, domains []string) {
+	for _, d := range domains {
+		if _, ok := costDomains[d]; !ok {
+			panic(fmt.Sprintf("harness: experiment %q declares unknown cost domain %q", id, d))
+		}
+	}
+}
+
+// fingerprintFor returns the combined cost-model fingerprint for the
+// experiment with the given ID: a canonical digest of its declared
+// domains' fingerprints. An experiment that declares no domains (or an
+// unknown ID) combines every domain, so any retune invalidates it — the
+// conservative fallback, equivalent to the old global cache version.
+func fingerprintFor(id string) string {
+	domains := allCostDomains()
+	if e := ByID(id); e != nil && len(e.Domains) > 0 {
+		domains = e.Domains
+	}
+	f := fprint.New("experiment")
+	for _, d := range domains {
+		f.C(d, costDomains[d])
+	}
+	return f.Sum()
+}

@@ -218,6 +218,14 @@ type Experiment struct {
 	Title string
 	// Paper cites what the artifact shows in the paper.
 	Paper string
+	// Domains lists the cost-model domains this experiment's measurements
+	// depend on (see costDomains): "topo", "mem", "kernel", and the
+	// "apps/<name>" domain of every workload it runs. The sweep-point
+	// cache stores the experiment's points under the combined fingerprint
+	// of these domains, so retuning one workload's constants invalidates
+	// only the figures that workload appears in. An empty list is the
+	// conservative default: every domain, so any retune invalidates.
+	Domains []string
 	// Run executes the experiment.
 	Run func(Options) *Series
 }
@@ -230,6 +238,7 @@ var registry []Experiment
 // sweep workers attach their own slots. FreshEngines bypasses the arena
 // everywhere.
 func register(e Experiment) {
+	checkDomains(e.ID, e.Domains)
 	inner := e.Run
 	e.Run = func(o Options) *Series {
 		if !o.FreshEngines && o.slot == nil {

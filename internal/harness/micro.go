@@ -13,45 +13,51 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "tbl-hw",
-		Title: "Machine memory-latency parameters",
-		Paper: "§5.1: L1 3cy, L2 14cy, L3 28cy, DRAM 122..503cy",
-		Run:   runHWLatencies,
+		ID:      "tbl-hw",
+		Title:   "Machine memory-latency parameters",
+		Paper:   "§5.1: L1 3cy, L2 14cy, L3 28cy, DRAM 122..503cy",
+		Domains: []string{"topo", "mem"},
+		Run:     runHWLatencies,
 	})
 
 	register(Experiment{
-		ID:    "fig2",
-		Title: "Sloppy counter operation trace",
-		Paper: "Figure 2: acquire/release against central vs per-core counts",
-		Run:   runSloppyTrace,
+		ID:      "fig2",
+		Title:   "Sloppy counter operation trace",
+		Paper:   "Figure 2: acquire/release against central vs per-core counts",
+		Domains: []string{"topo", "mem", "kernel"},
+		Run:     runSloppyTrace,
 	})
 
 	register(Experiment{
-		ID:    "dma",
-		Title: "DMA buffer allocation ablation",
-		Paper: "§5.3: local-node allocation improved throughput ~30% at 48 cores",
-		Run:   runDMAAblation,
+		ID:      "dma",
+		Title:   "DMA buffer allocation ablation",
+		Paper:   "§5.3: local-node allocation improved throughput ~30% at 48 cores",
+		Domains: withApps("memcached"),
+		Run:     runDMAAblation,
 	})
 
 	register(Experiment{
-		ID:    "nic-env",
-		Title: "UDP microbenchmark: NIC packet envelope",
-		Paper: "§5.4: the card delivers a capped packet rate at high core counts",
-		Run:   runNICEnvelope,
+		ID:      "nic-env",
+		Title:   "UDP microbenchmark: NIC packet envelope",
+		Paper:   "§5.4: the card delivers a capped packet rate at high core counts",
+		Domains: withApps("memcached"),
+		Run:     runNICEnvelope,
 	})
 
 	register(Experiment{
-		ID:    "ablate",
-		Title: "Per-fix ablations",
-		Paper: "Figure 1: each fix applied alone to the most affected app at 48 cores",
-		Run:   runAblations,
+		ID:      "ablate",
+		Title:   "Per-fix ablations",
+		Paper:   "Figure 1: each fix applied alone to the most affected app at 48 cores",
+		Domains: withApps("exim", "memcached", "apache", "postgres", "metis"),
+		Run:     runAblations,
 	})
 
 	register(Experiment{
-		ID:    "scount",
-		Title: "Sloppy vs shared counter scalability (simulated)",
-		Paper: "§4.3: a shared atomic serializes on one line; sloppy counters stay core-local",
-		Run:   runScountSweep,
+		ID:      "scount",
+		Title:   "Sloppy vs shared counter scalability (simulated)",
+		Paper:   "§4.3: a shared atomic serializes on one line; sloppy counters stay core-local",
+		Domains: []string{"topo", "mem", "kernel"},
+		Run:     runScountSweep,
 	})
 }
 

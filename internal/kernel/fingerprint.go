@@ -1,0 +1,32 @@
+package kernel
+
+import (
+	"repro/internal/fprint"
+	"repro/internal/mm"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/scount"
+	"repro/internal/slock"
+	"repro/internal/vfs"
+)
+
+// fingerprint is the kernel cost domain: everything the simulated kernel
+// charges per operation, composed from the subsystems this package
+// assembles plus its own assembly constants. Retuning any subsystem's
+// work constants changes this fingerprint, which invalidates exactly the
+// cached figures that ran through the kernel.
+var fingerprint = func() string {
+	return fprint.New("kernel").
+		C("pageStructSample", pageStructSample).
+		C("vfs", vfs.Fingerprint()).
+		C("mm", mm.Fingerprint()).
+		C("proc", proc.Fingerprint()).
+		C("netsim", netsim.Fingerprint()).
+		C("slock", slock.Fingerprint()).
+		C("scount", scount.Fingerprint()).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of the kernel-side cost
+// model. See topo.Fingerprint for how the sweep-point cache uses it.
+func Fingerprint() string { return fingerprint }

@@ -1,0 +1,26 @@
+package mem
+
+import (
+	"repro/internal/fprint"
+	"repro/internal/topo"
+)
+
+// fingerprint covers the coherence charges this package adds on top of
+// topo's raw latencies, and the controller/link rates the memory system
+// is built with. The rates derive from topo constants, but they are the
+// operative values every queued transfer is costed at, so they are
+// recorded here too: a change to how the shares are computed changes this
+// fingerprint even if topo's inputs did not move.
+var fingerprint = func() string {
+	return fprint.New("mem").
+		C("invalidatePerSharer", invalidatePerSharer).
+		C("atomicRMWExtra", atomicRMWExtra).
+		C("controllerBytesPerSec", topo.DRAMMaxBytesPerSec/topo.Chips).
+		C("linkBytesPerSec", float64(topo.HTLinkBytesPerSec)).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of the coherence,
+// controller, and link cost constants. See topo.Fingerprint for how the
+// sweep-point cache uses it.
+func Fingerprint() string { return fingerprint }

@@ -1,0 +1,21 @@
+package mm
+
+import "repro/internal/fprint"
+
+// fingerprint covers the page sizes and per-operation work constants the
+// memory-management paths charge.
+var fingerprint = func() string {
+	return fprint.New("mm").
+		C("PageBytes", PageBytes).
+		C("SuperPageBytes", SuperPageBytes).
+		C("zeroBytesPerCycle", zeroBytesPerCycle).
+		C("pageAllocWork", pageAllocWork).
+		C("mmapWork", mmapWork).
+		C("tlbShootdownPerCore", tlbShootdownPerCore).
+		C("faultEntryWork", faultEntryWork).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's cost
+// constants; kernel.Fingerprint folds it into the kernel cost domain.
+func Fingerprint() string { return fingerprint }

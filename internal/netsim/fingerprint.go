@@ -1,0 +1,28 @@
+package netsim
+
+import "repro/internal/fprint"
+
+// fingerprint covers the per-packet work constants and the measured NIC
+// envelopes (which are cost parameters of the card model, not workload
+// tuning).
+var fingerprint = func() string {
+	mc, ap := MemcachedNIC(), ApacheNIC()
+	return fprint.New("netsim").
+		C("protoWork", protoWork).
+		C("driverWork", driverWork).
+		C("copyPerByte", copyPerByte).
+		C("sockQueueOp", sockQueueOp).
+		C("tcpHandshakePackets", tcpHandshakePackets).
+		C("stealProbability", stealProbability).
+		C("misdirectProbability", misdirectProbability).
+		C("mss", mss).
+		C("skbWork", skbWork).
+		C("dmaPayloadLines", dmaPayloadLines).
+		C("memcachedNIC", mc).
+		C("apacheNIC", ap).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's cost
+// constants; kernel.Fingerprint folds it into the kernel cost domain.
+func Fingerprint() string { return fingerprint }

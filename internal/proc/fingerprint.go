@@ -1,0 +1,19 @@
+package proc
+
+import "repro/internal/fprint"
+
+// fingerprint covers the fork/exec/exit work constants and the sampled
+// line counts that scale the cross-core transfer charges.
+var fingerprint = func() string {
+	return fprint.New("proc").
+		C("forkWork", forkWork).
+		C("execWork", execWork).
+		C("exitWork", exitWork).
+		C("ptSampleLines", ptSampleLines).
+		C("pageStructTouches", pageStructTouches).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's cost
+// constants; kernel.Fingerprint folds it into the kernel cost domain.
+func Fingerprint() string { return fingerprint }

@@ -1,0 +1,15 @@
+package scount
+
+import "repro/internal/fprint"
+
+// fingerprint covers the sloppy-counter tuning; the per-access coherence
+// charges come from mem, which carries its own fingerprint.
+var fingerprint = func() string {
+	return fprint.New("scount").
+		C("DefaultSpareThreshold", DefaultSpareThreshold).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's cost
+// constants; kernel.Fingerprint folds it into the kernel cost domain.
+func Fingerprint() string { return fingerprint }

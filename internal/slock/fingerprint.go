@@ -1,0 +1,18 @@
+package slock
+
+import "repro/internal/fprint"
+
+// fingerprint covers the tunable contention cost constants shared by the
+// spin lock, adaptive mutex, and MCS lock models.
+var fingerprint = func() string {
+	return fprint.New("slock").
+		C("spinTrafficPerWaiter", spinTrafficPerWaiter).
+		C("futexWake", futexWake).
+		C("mutexSpinWindow", mutexSpinWindow).
+		C("starvationPerWaiter", starvationPerWaiter).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's cost
+// constants; kernel.Fingerprint folds it into the kernel cost domain.
+func Fingerprint() string { return fingerprint }

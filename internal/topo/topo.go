@@ -8,7 +8,11 @@
 // 122 cycles, and up to 503 cycles for DRAM of the farthest chip.
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fprint"
+)
 
 // Machine geometry constants for the paper's evaluation host.
 const (
@@ -54,6 +58,38 @@ const (
 	// 51.5 GB/s maximum is only reachable when all eight stream at once.
 	DRAMChipBytesPerSec = DRAMMaxBytesPerSec / Chips
 )
+
+// fingerprint covers every constant above plus the interconnect
+// parameters below: everything a simulated latency or bandwidth can
+// depend on in this package.
+var fingerprint = func() string {
+	return fprint.New("topo").
+		C("MaxCores", MaxCores).
+		C("CoresPerChip", CoresPerChip).
+		C("ClockHz", ClockHz).
+		C("CacheLineBytes", CacheLineBytes).
+		C("LatL1", LatL1).
+		C("LatL2", LatL2).
+		C("LatL3", LatL3).
+		C("LatDRAMLocal", LatDRAMLocal).
+		C("LatDRAMFar", LatDRAMFar).
+		C("L3Bytes", L3Bytes).
+		C("L2Bytes", L2Bytes).
+		C("DRAMPerChipBytes", DRAMPerChipBytes).
+		C("DRAMMaxBytesPerSec", DRAMMaxBytesPerSec).
+		C("HTLinkBytesPerSec", HTLinkBytesPerSec).
+		C("NumLinks", NumLinks).
+		C("IOHubChip", IOHubChip).
+		C("MaxHops", MaxHops).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's
+// latency, bandwidth, and geometry constants. The sweep-point cache keys
+// every experiment's stored points on the fingerprints of the cost
+// domains it depends on, so retuning a constant here invalidates exactly
+// the cached figures that could have changed.
+func Fingerprint() string { return fingerprint }
 
 // Machine describes an active machine configuration: the first NCores cores
 // of the 48-core host are enabled, the rest are disabled (§5.1: "Experiments

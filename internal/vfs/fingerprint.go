@@ -1,0 +1,22 @@
+package vfs
+
+import "repro/internal/fprint"
+
+// fingerprint covers the per-operation work constants every VFS path
+// charges. The shared-line coherence charges themselves come from mem and
+// topo, which carry their own fingerprints.
+var fingerprint = func() string {
+	return fprint.New("vfs").
+		C("syscallEntry", syscallEntry).
+		C("hashWork", hashWork).
+		C("copyPerByte", copyPerByte).
+		C("statWork", statWork).
+		C("createWork", createWork).
+		C("unlinkWork", unlinkWork).
+		C("listWork", listWork).
+		Sum()
+}()
+
+// Fingerprint returns the canonical fingerprint of this package's cost
+// constants; kernel.Fingerprint folds it into the kernel cost domain.
+func Fingerprint() string { return fingerprint }

@@ -15,6 +15,7 @@ package mosbench
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/harness"
 	"repro/internal/mem"
@@ -37,8 +38,10 @@ type Options struct {
 	// PostgreSQL): "local" (default), "striped", "remote", or "home:N".
 	Placement string
 	// Cache, when non-nil, memoizes sweep points by (experiment, variant,
-	// cores, seed, quick, placement), so a repeated grid run is served
-	// without simulating. Open one with OpenCache and Save it when done.
+	// cores, seed, quick, placement) under per-experiment cost-model
+	// fingerprints, so a repeated grid run is served without simulating
+	// and a retune invalidates only the affected experiments. Open one
+	// with OpenCache and Save it when done.
 	Cache *Cache
 	// FreshEngines disables the engine arena: every sweep point builds a
 	// brand-new simulation engine instead of resetting a pooled one.
@@ -47,24 +50,42 @@ type Options struct {
 	FreshEngines bool
 }
 
-// Cache is a handle to an on-disk sweep-point cache shared across runs.
-// Entries are keyed by (experiment, variant, cores, seed, quick,
-// placement) and versioned by a schema hash, so stale caches written by
-// older binaries self-invalidate.
+// Cache is a handle to an on-disk sweep-point cache shared across runs
+// and machines. Points are stored in per-experiment sections keyed by
+// (variant, cores, seed, quick, placement); each section is stamped with
+// the combined cost-model fingerprint of the domains its experiment
+// depends on, so retuning one application's constants invalidates only
+// that application's figures while every other experiment keeps replaying
+// from cache. A schema hash remains the outer guard against Point-shape
+// refactors.
 type Cache struct {
 	inner *harness.Cache
 }
 
 // OpenCache opens (creating if needed) the point cache stored in dir.
+// One-line warnings — an ignored unparsable or stale-schema cache file,
+// orphan temp files removed after an interrupted save — go to stderr; use
+// OpenCacheLogged to direct them elsewhere (nil silences them).
 func OpenCache(dir string) (*Cache, error) {
-	c, err := harness.OpenCache(dir)
+	return OpenCacheLogged(dir, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+}
+
+// OpenCacheLogged opens the point cache stored in dir, reporting
+// conditions worth knowing about (ignored cache files, removed orphan
+// temp files) as one-line messages through logf. A nil logf is silent.
+func OpenCacheLogged(dir string, logf func(format string, args ...any)) (*Cache, error) {
+	c, err := harness.OpenCacheLogged(dir, logf)
 	if err != nil {
 		return nil, err
 	}
 	return &Cache{inner: c}, nil
 }
 
-// Save writes the cache back to its directory.
+// Save writes the cache back to its directory, merging with the current
+// on-disk contents first so concurrent processes sharing the directory do
+// not drop each other's points; the final write is atomic.
 func (c *Cache) Save() error { return c.inner.Save() }
 
 // Hits returns how many lookups were served from the cache.
@@ -75,6 +96,44 @@ func (c *Cache) Misses() int64 { return c.inner.Misses() }
 
 // Len returns the number of cached points.
 func (c *Cache) Len() int { return c.inner.Len() }
+
+// ExperimentCacheStats is one experiment's cache activity.
+type ExperimentCacheStats struct {
+	// Hits and Misses count this cache handle's lookups.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Invalidated counts stored points dropped because the experiment's
+	// cost-model fingerprint changed since they were computed (a retune
+	// of a cost domain the experiment depends on).
+	Invalidated int64 `json:"invalidated"`
+	// Points is the number of points currently cached.
+	Points int `json:"points"`
+}
+
+// CacheStats is a snapshot of a cache's per-experiment activity.
+type CacheStats struct {
+	Hits        int64                           `json:"hits"`
+	Misses      int64                           `json:"misses"`
+	Invalidated int64                           `json:"invalidated"`
+	Experiments map[string]ExperimentCacheStats `json:"experiments"`
+}
+
+// Stats returns per-experiment hit/miss/invalidation counts plus totals.
+func (c *Cache) Stats() CacheStats {
+	hs := c.inner.Stats()
+	out := CacheStats{
+		Hits:        hs.Hits,
+		Misses:      hs.Misses,
+		Invalidated: hs.Invalidated,
+		Experiments: make(map[string]ExperimentCacheStats, len(hs.Experiments)),
+	}
+	for exp, e := range hs.Experiments {
+		out.Experiments[exp] = ExperimentCacheStats{
+			Hits: e.Hits, Misses: e.Misses, Invalidated: e.Invalidated, Points: e.Points,
+		}
+	}
+	return out
+}
 
 // Point is one measurement.
 type Point struct {

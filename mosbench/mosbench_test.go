@@ -79,6 +79,31 @@ func TestCacheServesRepeatedRuns(t *testing.T) {
 	}
 }
 
+func TestCacheStatsPerExperiment(t *testing.T) {
+	c, err := OpenCacheLogged(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Quick: true, Cache: c}
+	if _, err := Run("fig5", o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("fig5", o); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	e, ok := st.Experiments["fig5"]
+	if !ok {
+		t.Fatalf("Stats() missing fig5 section: %+v", st)
+	}
+	if e.Hits == 0 || e.Misses == 0 || e.Hits != e.Misses || e.Points != int(e.Misses) {
+		t.Errorf("fig5 stats %+v: want equal nonzero hits/misses and matching point count", e)
+	}
+	if st.Hits != e.Hits || st.Misses != e.Misses || st.Invalidated != 0 {
+		t.Errorf("totals %d/%d/%d disagree with fig5's %+v", st.Hits, st.Misses, st.Invalidated, e)
+	}
+}
+
 func TestFreshEnginesMatchesArena(t *testing.T) {
 	a, err := Run("scount", Options{Quick: true})
 	if err != nil {
