@@ -9,6 +9,8 @@
 //	mosbench -experiment fig5 -cores 1,8,48 -csv
 //	mosbench -experiment fig11 -cores 1..48   (the paper's full x-axis)
 //	mosbench -experiment ht -placement striped
+//	mosbench -experiment degrade -fault "link:3-4@50%,drop:0.01"
+//	mosbench -experiment fig5 -fault "core:7@off,dram:0@50%@t=1ms"
 //	mosbench -all -quick
 //	mosbench -all -cores 1..48 -cache ./sweepcache   (second run: all hits)
 //	mosbench -all -cache ./sweepcache -verbose -cachestats stats.json
@@ -19,7 +21,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "deterministic PRNG seed")
 		serial  = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
 		place   = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
+		faults  = flag.String("fault", "", "deterministic fault-injection spec, e.g. \"link:3-4@50%,drop:0.01\" (events: link:A-B@P%|down, dram:C@P%, core:N@off, drop:P, dup:P; optional @t=<dur> activation)")
 		cache   = flag.String("cache", "", "directory for the on-disk sweep-point cache: repeated grid runs are served without simulating")
 		verbose = flag.Bool("verbose", false, "report per-experiment cache hit/miss/invalidation counters after the run (requires -cache)")
 		stats   = flag.String("cachestats", "", "write per-experiment cache hit/miss stats as JSON to this path after the run (requires -cache)")
@@ -67,7 +69,22 @@ func main() {
 		return
 	}
 
-	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place}
+	// Validate the experiment ID, placement, and fault spec before running
+	// anything: a typo is a usage error (exit 2) listing what is accepted,
+	// not a mid-run failure.
+	if *exp != "" && !*list && !*all {
+		if !knownExperiment(*exp) {
+			fatalUsage(fmt.Sprintf("unknown experiment %q; registered experiments:\n%s", *exp, experimentList()))
+		}
+	}
+	if err := mosbench.CheckPlacement(*place); err != nil {
+		fatalUsage(fmt.Sprintf("%v; valid placements: local, striped, remote, home:N (N a chip index)", err))
+	}
+	if err := mosbench.CheckFault(*faults); err != nil {
+		fatalUsage(fmt.Sprintf("bad -fault spec: %v", err))
+	}
+
+	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place, Fault: *faults}
 	if *cores != "" {
 		cs, err := parseCores(*cores)
 		if err != nil {
@@ -83,6 +100,7 @@ func main() {
 		o.Cache = c
 	}
 
+	var failed []string // "experiment: variant@cores: err" summaries
 	runErr := func() error {
 		switch {
 		case *list:
@@ -91,12 +109,12 @@ func main() {
 			}
 		case *all:
 			for _, e := range mosbench.Experiments() {
-				if err := runOne(e.ID, o, *csv); err != nil {
+				if err := runOne(e.ID, o, *csv, &failed); err != nil {
 					return err
 				}
 			}
 		case *exp != "":
-			return runOne(*exp, o, *csv)
+			return runOne(*exp, o, *csv, &failed)
 		default:
 			flag.Usage()
 			os.Exit(2)
@@ -119,7 +137,7 @@ func main() {
 			reportCacheStats(cs, o.Cache.Len(), *cache)
 		}
 		if *stats != "" {
-			if err := writeCacheStats(*stats, cs); err != nil {
+			if err := o.Cache.WriteStats(*stats); err != nil {
 				if runErr == nil {
 					runErr = err
 				} else {
@@ -131,12 +149,27 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	// Every sweep point that crashed or wedged was isolated and skipped;
+	// the run completed, but it is not the full artifact — say so and exit
+	// nonzero.
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "mosbench: %d sweep point(s) failed:\n", len(failed))
+		for _, f := range failed {
+			fmt.Fprintln(os.Stderr, " ", f)
+		}
+		os.Exit(1)
+	}
 }
 
-func runOne(id string, o mosbench.Options, csv bool) error {
+func runOne(id string, o mosbench.Options, csv bool, failed *[]string) error {
 	s, err := mosbench.Run(id, o)
 	if err != nil {
 		return err
+	}
+	for _, f := range s.Failed {
+		// First line only: panic reports carry a stack trace.
+		msg, _, _ := strings.Cut(f.Err, "\n")
+		*failed = append(*failed, fmt.Sprintf("%s: %s@%d: %s", id, f.Variant, f.Cores, msg))
 	}
 	if csv {
 		fmt.Print(s.CSV())
@@ -144,6 +177,25 @@ func runOne(id string, o mosbench.Options, csv bool) error {
 		fmt.Println(s.Table())
 	}
 	return nil
+}
+
+// knownExperiment reports whether id is registered.
+func knownExperiment(id string) bool {
+	for _, e := range mosbench.Experiments() {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// experimentList renders the registered experiment IDs, one per line.
+func experimentList() string {
+	var b strings.Builder
+	for _, e := range mosbench.Experiments() {
+		fmt.Fprintf(&b, "  %-16s %s\n", e.ID, e.Title)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // parseCores accepts comma-separated core counts where each element is a
@@ -203,16 +255,6 @@ func reportCacheStats(cs mosbench.CacheStats, points int, dir string) {
 		fmt.Fprintf(os.Stderr, "cache: %-16s %4d hits %4d misses %4d invalidated %4d points\n",
 			id, e.Hits, e.Misses, e.Invalidated, e.Points)
 	}
-}
-
-// writeCacheStats writes the stats snapshot as JSON (the CI artifact
-// uploaded next to BENCH_sweep.json).
-func writeCacheStats(path string, cs mosbench.CacheStats) error {
-	data, err := json.MarshalIndent(cs, "", " ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatalUsage(msg string) {

@@ -63,11 +63,13 @@ func RunApache(k *kernel.Kernel, opts ApacheOpts) Result {
 	fs.MustCreateFile("/var/www/htdocs/index.html", opts.FileBytes)
 
 	cores := k.Machine.NCores
+	workers := onlineCores(k)
 
 	// Listeners: one shared (single instance) or one per core. They are
-	// created by a bootstrap proc so listener setup is charged once.
+	// created by a bootstrap proc (on the first online core) so listener
+	// setup is charged once.
 	listeners := make([]*netsim.Listener, cores)
-	e.Spawn(0, "apache-master", 0, func(p *sim.Proc) {
+	e.Spawn(k.FirstOnline(), "apache-master", 0, func(p *sim.Proc) {
 		if opts.SingleInstance {
 			shared := stack.Listen(p)
 			for c := range listeners {
@@ -78,8 +80,7 @@ func RunApache(k *kernel.Kernel, opts ApacheOpts) Result {
 				listeners[c] = stack.Listen(p)
 			}
 		}
-		for c := 0; c < cores; c++ {
-			c := c
+		for _, c := range workers {
 			p.Engine().Spawn(c, fmt.Sprintf("apache-%d", c), p.Now(), func(wp *sim.Proc) {
 				for i := 0; i < opts.RequestsPerCore; i++ {
 					apacheRequest(k, wp, stack, nic, listeners[c], opts)
@@ -91,7 +92,8 @@ func RunApache(k *kernel.Kernel, opts ApacheOpts) Result {
 	return Result{
 		App:        "Apache",
 		Cores:      cores,
-		Ops:        int64(cores * opts.RequestsPerCore),
+		Ops:        int64(len(workers) * opts.RequestsPerCore),
+		NetRetries: stack.Retries(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

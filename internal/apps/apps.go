@@ -15,8 +15,23 @@
 package apps
 
 import (
+	"repro/internal/kernel"
 	"repro/internal/topo"
 )
+
+// onlineCores returns the cores workloads may spawn workers on: every
+// enabled core the kernel's fault plan has not offlined. On a healthy
+// machine this is simply 0..NCores-1, and the per-worker budgets and
+// work splits below reduce to their pre-fault forms.
+func onlineCores(k *kernel.Kernel) []int {
+	out := make([]int, 0, k.Machine.NCores)
+	for c := 0; c < k.Machine.NCores; c++ {
+		if k.Online(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 // Result is the outcome of one application run at one core count.
 type Result struct {
@@ -40,6 +55,18 @@ type Result struct {
 	// LinkUtil is each HyperTransport link's busy fraction over the run,
 	// alongside DRAMUtil for the same workloads.
 	LinkUtil []float64
+	// NetRetries counts packets the network stack resent after injected
+	// NIC drops (0 on a healthy machine or for loopback-only workloads).
+	NetRetries int64
+}
+
+// RetriesPerOp returns resent packets per application operation — the
+// "retries bounded" metric of the degrade experiment.
+func (r Result) RetriesPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.NetRetries) / float64(r.Ops)
 }
 
 // Throughput returns total operations per second of virtual time.

@@ -69,8 +69,8 @@ func RunExim(k *kernel.Kernel, opts EximOpts) Result {
 	}
 
 	cores := k.Machine.NCores
-	for c := 0; c < cores; c++ {
-		c := c
+	workers := onlineCores(k)
+	for _, c := range workers {
 		e.Spawn(c, fmt.Sprintf("exim-%d", c), 0, func(p *sim.Proc) {
 			mailAS := k.NewAddressSpace(p.Chip())
 			master := k.Procs.NewInitProcess(mailAS)
@@ -100,7 +100,8 @@ func RunExim(k *kernel.Kernel, opts EximOpts) Result {
 	return Result{
 		App:        "Exim",
 		Cores:      cores,
-		Ops:        int64(cores * opts.MessagesPerCore),
+		Ops:        int64(len(workers) * opts.MessagesPerCore),
+		NetRetries: stack.Retries(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

@@ -77,14 +77,14 @@ func RunGmake(k *kernel.Kernel, opts GmakeOpts) Result {
 	prep := int64(opts.SerialPrepFrac * float64(totalWork))
 	link := int64(opts.SerialLinkFrac * float64(totalWork))
 
-	next := 0       // shared job queue cursor (engine-serialized)
-	active := cores // workers still running
+	workers := onlineCores(k)
+	next := 0              // shared job queue cursor (engine-serialized)
+	active := len(workers) // workers still running
 
-	e.Spawn(0, "make", 0, func(master *sim.Proc) {
+	e.Spawn(k.FirstOnline(), "make", 0, func(master *sim.Proc) {
 		// Serial preparation stage.
 		master.AdvanceUser(prep)
-		for c := 0; c < cores; c++ {
-			c := c
+		for _, c := range workers {
 			master.Engine().Spawn(c, fmt.Sprintf("cc-%d", c), master.Now(), func(p *sim.Proc) {
 				as := k.NewAddressSpace(p.Chip())
 				self := k.Procs.NewInitProcess(as)

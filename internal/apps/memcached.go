@@ -47,8 +47,8 @@ func RunMemcached(k *kernel.Kernel, opts MemcachedOpts) Result {
 	stack := k.NewStack(nic)
 
 	cores := k.Machine.NCores
-	for c := 0; c < cores; c++ {
-		c := c
+	workers := onlineCores(k)
+	for _, c := range workers {
 		e.Spawn(c, fmt.Sprintf("memcached-%d", c), 0, func(p *sim.Proc) {
 			sock := stack.NewUDPSocket(p)
 			for i := 0; i < opts.RequestsPerCore; i++ {
@@ -63,7 +63,8 @@ func RunMemcached(k *kernel.Kernel, opts MemcachedOpts) Result {
 	return Result{
 		App:        "memcached",
 		Cores:      cores,
-		Ops:        int64(cores * opts.RequestsPerCore),
+		Ops:        int64(len(workers) * opts.RequestsPerCore),
+		NetRetries: stack.Retries(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

@@ -48,13 +48,16 @@ const (
 func RunMetis(k *kernel.Kernel, opts MetisOpts) Result {
 	e := k.Engine
 	cores := k.Machine.NCores
+	workers := onlineCores(k)
 	sharedAS := k.NewAddressSpace(0)
 
-	perCoreInput := opts.InputBytes / int64(cores)
+	// The input is fixed; the online workers split it evenly, so an
+	// offlined core's share lands on the survivors.
+	perCoreInput := opts.InputBytes / int64(len(workers))
 	tableBytes := int64(float64(perCoreInput) * opts.TableBytesPerInputByte)
 
 	// Map/reduce barrier: reducers start only when every mapper is done.
-	remaining := cores
+	remaining := len(workers)
 	var waiting []*sim.Proc
 	barrier := func(p *sim.Proc) {
 		remaining--
@@ -69,8 +72,7 @@ func RunMetis(k *kernel.Kernel, opts MetisOpts) Result {
 		waiting = nil
 	}
 
-	for c := 0; c < cores; c++ {
-		c := c
+	for _, c := range workers {
 		e.Spawn(c, fmt.Sprintf("metis-%d", c), 0, func(p *sim.Proc) {
 			// Map phase: allocate temporary tables with mmap and fault
 			// them in while scanning the input.

@@ -92,6 +92,7 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 	}
 
 	cores := k.Machine.NCores
+	workers := onlineCores(k)
 	// One shared address space for the threaded version; private ones per
 	// core otherwise.
 	var sharedAS *mm.AddressSpace
@@ -100,8 +101,7 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 	}
 
 	next := 0 // shared work queue of input files (engine-serialized)
-	for c := 0; c < cores; c++ {
-		c := c
+	for _, c := range workers {
 		e.Spawn(c, fmt.Sprintf("pedsort-%d", c), 0, func(p *sim.Proc) {
 			as := sharedAS
 			if as == nil {
@@ -147,14 +147,14 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 			wsOnChip := opts.SortSetBytes * int64(k.Machine.CoresOnChip(chip))
 			miss := mem.MissRatio(wsOnChip, topo.L3Bytes)
 			totalMerge := float64(int64(opts.Files)*opts.FileBytes*pedsortSortPerByte) * userTax
-			sortWork := totalMerge / float64(cores)
+			sortWork := totalMerge / float64(len(workers))
 			sortWork *= 1 + pedsortMissPenalty*miss
 			p.AdvanceUser(int64(sortWork))
 			// The merge streams this core's share of the intermediate
 			// index through the memory system under the configured
 			// placement (local by default, matching the first-touch
 			// pages the hash phase faulted in).
-			k.DRAM.TransferPlaced(p, opts.Placement, int64(opts.Files)*opts.FileBytes/int64(cores))
+			k.DRAM.TransferPlaced(p, opts.Placement, int64(opts.Files)*opts.FileBytes/int64(len(workers)))
 			out := fs.Create(p, "/tmp/ind", fmt.Sprintf("final-%d", c))
 			fs.Append(p, out, pedsortFlushBytes)
 			fs.Close(p, out)

@@ -95,8 +95,8 @@ func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
 	}
 
 	cores := k.Machine.NCores
-	for c := 0; c < cores; c++ {
-		c := c
+	workers := onlineCores(k)
+	for _, c := range workers {
 		e.Spawn(c, fmt.Sprintf("postgres-%d", c), 0, func(p *sim.Proc) {
 			conn := stack.NewSteeredConn(p)
 			table := fs.Open(p, "/pgdata/base/table")
@@ -126,7 +126,8 @@ func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
 	return Result{
 		App:        "PostgreSQL",
 		Cores:      cores,
-		Ops:        int64(cores * opts.QueriesPerCore),
+		Ops:        int64(len(workers) * opts.QueriesPerCore),
+		NetRetries: stack.Retries(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

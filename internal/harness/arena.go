@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -13,18 +14,58 @@ import (
 // point the worker runs resets the engine (ResetFor handles the changing
 // core count) instead of building a new one, so the engine's parked proc
 // goroutines, core arrays, and heap storage carry across the whole grid.
+//
+// The generation counter exists for the watchdog in isolate.go: a point
+// that wedges past its deadline is abandoned on its goroutine, which may
+// still be blocked inside the slot's engine. abandon() disowns that engine
+// and bumps the generation, so the worker's next point builds a fresh one
+// while any late engine() call from the abandoned goroutine (whose Options
+// pinned the old generation) gets a throwaway engine instead of racing the
+// new owner.
 type engineSlot struct {
+	mu  sync.Mutex
+	gen uint64
 	eng *sim.Engine
 }
 
+// generation returns the slot's current generation; Options pin it so a
+// later abandon() cuts stale holders off.
+func (s *engineSlot) generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
 // engine returns the slot's engine, reset for the given machine and seed.
-func (s *engineSlot) engine(m *topo.Machine, seed uint64) *sim.Engine {
+// A caller whose pinned generation is stale (its point was abandoned by
+// the watchdog) gets a throwaway non-pooled engine: its result will be
+// discarded anyway, and it must not touch the engine the slot's current
+// owner is using.
+func (s *engineSlot) engine(gen uint64, m *topo.Machine, seed uint64) *sim.Engine {
+	s.mu.Lock()
+	if gen != s.gen {
+		s.mu.Unlock()
+		return sim.NewEngine(m, seed)
+	}
 	if s.eng == nil {
 		s.eng = sim.NewPooledEngine(m, seed)
 	} else {
 		s.eng.ResetFor(m, seed)
 	}
-	return s.eng
+	e := s.eng
+	s.mu.Unlock()
+	return e
+}
+
+// abandon disowns the slot's engine without closing it — the wedged
+// point's goroutine may still be parked inside it, so Close could hang.
+// The engine (and that goroutine) leak, deliberately: this only runs when
+// a point has already blown its wall-clock deadline.
+func (s *engineSlot) abandon() {
+	s.mu.Lock()
+	s.gen++
+	s.eng = nil
+	s.mu.Unlock()
 }
 
 // engineArena is the process-wide sync.Pool-style arena the sweep workers
@@ -58,8 +99,12 @@ func (a *engineArena) put(s *engineSlot) {
 		return
 	}
 	a.mu.Unlock()
-	if s.eng != nil {
-		s.eng.Close()
+	s.mu.Lock()
+	eng := s.eng
+	s.eng = nil
+	s.mu.Unlock()
+	if eng != nil {
+		eng.Close()
 	}
 }
 
@@ -71,10 +116,21 @@ func (o Options) newEngine(m *topo.Machine) *sim.Engine {
 	if o.FreshEngines || o.slot == nil {
 		return sim.NewEngine(m, o.seed())
 	}
-	return o.slot.engine(m, o.seed())
+	return o.slot.engine(o.slotGen, m, o.seed())
 }
 
-// newKernel boots a kernel for one sweep point on o.newEngine's engine.
+// newKernel boots a kernel for one sweep point on o.newEngine's engine,
+// applying o.Fault when set. A spec that does not compile for this point's
+// core count panics; under the guarded sweep that surfaces as one failed
+// point rather than killing the run.
 func (o Options) newKernel(m *topo.Machine, cfg kernel.Config) *kernel.Kernel {
-	return kernel.NewOnEngine(o.newEngine(m), cfg)
+	e := o.newEngine(m)
+	if o.Fault == nil || o.Fault.IsZero() {
+		return kernel.NewOnEngine(e, cfg)
+	}
+	plan, err := o.Fault.Compile(m.NCores)
+	if err != nil {
+		panic(fmt.Sprintf("harness: fault spec %q: %v", o.Fault, err))
+	}
+	return kernel.NewOnEngineFaults(e, cfg, plan)
 }

@@ -26,7 +26,7 @@ const cacheVersion = 2
 // experiment through the fingerprint stored in each section.
 var cacheSchema = func() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d|sections=experiment:fingerprint|key=variant|cores|seed|quick|placement|", cacheVersion)
+	fmt.Fprintf(h, "v%d|sections=experiment:fingerprint|key=variant|cores|seed|quick|placement|fault|", cacheVersion)
 	t := reflect.TypeOf(Point{})
 	for i := 0; i < t.NumField(); i++ {
 		fmt.Fprintf(h, "%s %s|", t.Field(i).Name, t.Field(i).Type)
@@ -258,19 +258,57 @@ func (c *Cache) Len() int {
 // ExperimentCacheStats is one experiment's cache activity.
 type ExperimentCacheStats struct {
 	// Hits and Misses count this cache's lookups for the experiment.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Invalidated counts stored points dropped because the experiment's
 	// cost-model fingerprint changed since they were computed.
-	Invalidated int64
+	Invalidated int64 `json:"invalidated"`
 	// Points is the number of points currently cached.
-	Points int
+	Points int `json:"points"`
 }
 
 // CacheStats reports per-experiment hit/miss/invalidation counts plus the
 // totals.
 type CacheStats struct {
-	Hits, Misses, Invalidated int64
-	Experiments               map[string]ExperimentCacheStats
+	Hits        int64                           `json:"hits"`
+	Misses      int64                           `json:"misses"`
+	Invalidated int64                           `json:"invalidated"`
+	Experiments map[string]ExperimentCacheStats `json:"experiments"`
+}
+
+// WriteStatsJSON writes the cache's activity snapshot as indented JSON to
+// path, creating missing parent directories and using the same unique
+// temp-file + atomic-rename discipline as Save, so an interrupted write
+// never leaves a truncated stats file behind.
+func (c *Cache) WriteStatsJSON(path string) error {
+	data, err := json.MarshalIndent(c.Stats(), "", " ")
+	if err != nil {
+		return fmt.Errorf("harness: cache stats encode: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("harness: cache stats dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: cache stats temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache stats write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache stats close: %w", err)
+	}
+	os.Chmod(tmp.Name(), 0o644)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache stats rename: %w", err)
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the cache's activity since it was opened.
@@ -352,9 +390,20 @@ func (c *Cache) store(exp, fp, key string, p Point) {
 // Everything a point's value depends on must appear either here (variant,
 // cores, and the run options that change simulated behavior) or in the
 // section's cost-model fingerprint (the experiment's tuning constants).
+// The fault term is the spec's canonical string ("none" for a clean run),
+// so faulted points never alias clean ones and clean-run hits are
+// unaffected by fault sweeps sharing the cache.
 func (o Options) cacheKey(variant string, cores int) string {
-	return fmt.Sprintf("%s|%d|seed=%d|quick=%t|placement=%s",
-		variant, cores, o.seed(), o.Quick, o.Placement.String())
+	return fmt.Sprintf("%s|%d|seed=%d|quick=%t|placement=%s|fault=%s",
+		variant, cores, o.seed(), o.Quick, o.Placement.String(), o.faultString())
+}
+
+// faultString renders o.Fault canonically for the cache key.
+func (o Options) faultString() string {
+	if o.Fault == nil {
+		return "none"
+	}
+	return o.Fault.String()
 }
 
 // cachedPoint returns the cached measurement for (exp, variant, cores)

@@ -385,3 +385,40 @@ func TestCacheConcurrentUse(t *testing.T) {
 		t.Errorf("cache holds %d points after concurrent use, want %d", got, want)
 	}
 }
+
+func TestWriteStatsJSONCreatesParentDirs(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate some activity so the snapshot has content.
+	c.lookup("exp", "fp", "k")
+	c.store("exp", "fp", "k", Point{Cores: 1})
+	c.lookup("exp", "fp", "k")
+
+	// The stats path's parent does not exist yet; WriteStatsJSON must
+	// create it rather than failing like a plain os.WriteFile would.
+	path := filepath.Join(dir, "artifacts", "nested", "stats.json")
+	if err := c.WriteStatsJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got CacheStats
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("stats file is not valid JSON: %v\n%s", err, data)
+	}
+	if got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit and 1 miss", got)
+	}
+	if e := got.Experiments["exp"]; e.Points != 1 {
+		t.Errorf("experiment section = %+v, want 1 point", e)
+	}
+	// No temp files left behind: the write renamed into place.
+	if orphans, _ := filepath.Glob(path + ".tmp*"); len(orphans) != 0 {
+		t.Errorf("orphan temp files left: %v", orphans)
+	}
+}

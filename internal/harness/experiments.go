@@ -31,6 +31,7 @@ func point(r apps.Result, variant string, perCoreScale float64) Point {
 		SysMicros:  r.SysMicrosPerOp(),
 		DRAMUtil:   r.DRAMUtil,
 		LinkUtil:   r.LinkUtil,
+		Retries:    r.RetriesPerOp(),
 	}
 }
 
@@ -343,23 +344,43 @@ func runFig3(o Options) *Series {
 	s.Notes = append(s.Notes, "Table rows are applications, in Figure 3's order:")
 	// Each application needs four independent measurements (stock/PK at
 	// 1 and 48 cores); run all of them concurrently (each cacheable on its
-	// own) and assemble by index.
-	results := make([]Point, len(appsList)*4)
-	o.parallelMap(len(results), func(i int, wo Options) {
+	// own, each crash-isolated) and assemble by index.
+	fig3Label := func(i int) (label string, cores int) {
 		a := appsList[i/4]
-		cores := 1
+		cores = 1
 		if i%2 == 1 {
 			cores = 48
 		}
-		label, run := a.name+"/Stock", a.stock
+		label = a.name + "/Stock"
 		if i%4 >= 2 {
-			label, run = a.name+"/PK", a.pk
+			label = a.name + "/PK"
 		}
-		results[i] = wo.cachedPoint("fig3", label, cores, func() Point {
-			return point(run(cores, wo), label, 1)
+		return label, cores
+	}
+	results := make([]Point, len(appsList)*4)
+	errs := make([]error, len(results))
+	o.parallelMap(len(results), func(i int, wo Options) {
+		a := appsList[i/4]
+		label, cores := fig3Label(i)
+		run := a.stock
+		if i%4 >= 2 {
+			run = a.pk
+		}
+		results[i], errs[i] = wo.safeCachedPoint("fig3", label, cores, func(co Options) Point {
+			return point(run(cores, co), label, 1)
 		})
 	})
+	for i, err := range errs {
+		if err != nil {
+			label, cores := fig3Label(i)
+			s.Failed = append(s.Failed, FailedPoint{Variant: label, Cores: cores, Err: err.Error()})
+		}
+	}
 	for i, a := range appsList {
+		if errs[i*4] != nil || errs[i*4+1] != nil || errs[i*4+2] != nil || errs[i*4+3] != nil {
+			s.Notes = append(s.Notes, fmt.Sprintf("  row %d: %-12s skipped: a measurement failed (see failed points)", i+1, a.name))
+			continue
+		}
 		s1, s48, p1, p48 := results[i*4], results[i*4+1], results[i*4+2], results[i*4+3]
 		stockRatio := s48.PerCore / s1.PerCore
 		pkRatio := p48.PerCore / p1.PerCore
@@ -398,20 +419,35 @@ func runFig12(o Options) *Series {
 		{"Metis", "HW: DRAM throughput",
 			func(c int, o Options) apps.Result { return runMetis(true, c, o) }},
 	}
-	// Two independent measurements per row (1 and 48 cores), fanned out
-	// and individually cacheable.
+	// Two independent measurements per row (1 and 48 cores), fanned out,
+	// individually cacheable, and crash-isolated.
 	pts := make([]Point, len(rows)*2)
+	errs := make([]error, len(pts))
 	o.parallelMap(len(pts), func(i int, wo Options) {
 		r := rows[i/2]
 		cores := 1
 		if i%2 == 1 {
 			cores = 48
 		}
-		pts[i] = wo.cachedPoint("fig12", r.app, cores, func() Point {
-			return point(r.run(cores, wo), r.app, 1)
+		pts[i], errs[i] = wo.safeCachedPoint("fig12", r.app, cores, func(co Options) Point {
+			return point(r.run(cores, co), r.app, 1)
 		})
 	})
+	for i, err := range errs {
+		if err != nil {
+			cores := 1
+			if i%2 == 1 {
+				cores = 48
+			}
+			s.Failed = append(s.Failed, FailedPoint{Variant: rows[i/2].app, Cores: cores, Err: err.Error()})
+		}
+	}
 	for i, r := range rows {
+		if errs[i*2] != nil || errs[i*2+1] != nil {
+			s.Notes = append(s.Notes,
+				fmt.Sprintf("%-12s %-42s skipped: a measurement failed (see failed points)", r.app, r.attribution))
+			continue
+		}
 		retained := pts[i*2+1].PerCore / pts[i*2].PerCore
 		s.Notes = append(s.Notes,
 			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, retained))

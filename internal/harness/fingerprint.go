@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/apps"
+	"repro/internal/fault"
 	"repro/internal/fprint"
 	"repro/internal/kernel"
 	"repro/internal/mem"
@@ -25,6 +26,7 @@ var costDomains = func() map[string]string {
 		"topo":   topo.Fingerprint(),
 		"mem":    mem.Fingerprint(),
 		"kernel": kernel.Fingerprint(),
+		"fault":  fault.Fingerprint(),
 	}
 	for app, fp := range apps.Fingerprints() {
 		d["apps/"+app] = fp

@@ -10,7 +10,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 )
 
@@ -30,6 +32,9 @@ type Point struct {
 	// LinkUtil is each HyperTransport link's busy fraction during the
 	// run (nil for workloads that do no bulk streaming).
 	LinkUtil []float64
+	// Retries is client-visible network retransmissions per operation —
+	// zero except under injected packet loss (Options.Fault).
+	Retries float64
 }
 
 // Series is the result of one experiment: one or more variant curves.
@@ -42,6 +47,10 @@ type Series struct {
 	Unit string
 	// Points holds all measurements.
 	Points []Point
+	// Failed lists the sweep points that produced no measurement (panic
+	// after retry, or watchdog timeout); see safeCachedPoint. A run with
+	// failed points still reports every other point.
+	Failed []FailedPoint
 	// Notes are free-form lines (tables, attributions, caveats).
 	Notes []string
 }
@@ -98,10 +107,24 @@ type Options struct {
 	// TestEngineReuseDeterminism); the knob exists for that comparison and
 	// as an escape hatch.
 	FreshEngines bool
+	// Fault, when non-nil and non-empty, is the deterministic fault plan
+	// injected into every kernel the experiment boots: degraded or dead HT
+	// links, throttled memory controllers, offlined cores, NIC packet
+	// loss/duplication. The spec's canonical string is part of the sweep
+	// cache key, so faulted points never alias clean ones.
+	Fault *fault.Spec
+	// PointTimeout is the per-sweep-point wall-clock watchdog; a point
+	// that runs past it is abandoned and reported in Series.Failed. Zero
+	// means the default (2 minutes).
+	PointTimeout time.Duration
 
 	// slot is the calling sweep worker's pooled engine, set by
 	// parallelMap; nil outside a sweep (fresh engines are used then).
 	slot *engineSlot
+	// slotGen pins the slot generation this Options was issued under; a
+	// stale generation (the watchdog abandoned the slot) makes newEngine
+	// fall back to a throwaway engine. See engineSlot.
+	slotGen uint64
 }
 
 // DefaultCores is the standard sweep, a subset of the paper's x-axis.
@@ -145,6 +168,7 @@ func (o Options) parallelMap(n int, fn func(i int, o Options)) {
 		}
 		slot := arena.get()
 		o.slot = slot
+		o.slotGen = slot.generation()
 		return o, func() { arena.put(slot) }
 	}
 	if o.Serial || workers <= 1 {
@@ -198,16 +222,28 @@ type variantRun struct {
 // concurrently unless o.Serial, and appends the points to s grouped by
 // variant with cores ascending — exactly the order the equivalent nested
 // serial loops would produce. Each point is served from o.Cache when
-// possible.
+// possible, and each runs crash-isolated: a point that panics twice or
+// wedges past the watchdog lands in s.Failed instead of killing the sweep.
 func (o Options) runGrid(s *Series, runs []variantRun) {
 	cores := o.cores()
 	pts := make([]Point, len(runs)*len(cores))
+	errs := make([]error, len(pts))
 	o.parallelMap(len(pts), func(i int, wo Options) {
 		vr := runs[i/len(cores)]
 		c := cores[i%len(cores)]
-		pts[i] = wo.cachedPoint(s.ID, vr.name, c, func() Point { return vr.run(c, wo) })
+		pts[i], errs[i] = wo.safeCachedPoint(s.ID, vr.name, c, func(co Options) Point { return vr.run(c, co) })
 	})
-	s.Points = append(s.Points, pts...)
+	for i := range pts {
+		if errs[i] != nil {
+			s.Failed = append(s.Failed, FailedPoint{
+				Variant: runs[i/len(cores)].name,
+				Cores:   cores[i%len(cores)],
+				Err:     errs[i].Error(),
+			})
+			continue
+		}
+		s.Points = append(s.Points, pts[i])
+	}
 }
 
 // Experiment is one regenerable paper artifact.
@@ -245,6 +281,7 @@ func register(e Experiment) {
 			slot := arena.get()
 			defer arena.put(slot)
 			o.slot = slot
+			o.slotGen = slot.generation()
 		}
 		return inner(o)
 	}
@@ -335,6 +372,14 @@ func Format(s *Series) string {
 			}
 		}
 	}
+	if len(s.Failed) > 0 {
+		fmt.Fprintf(&b, "failed points (%d):\n", len(s.Failed))
+		for _, f := range s.Failed {
+			// First line only: panic errors carry a stack trace.
+			msg, _, _ := strings.Cut(f.Err, "\n")
+			fmt.Fprintf(&b, "  %-28s %3d: %s\n", f.Variant, f.Cores, msg)
+		}
+	}
 	for _, n := range s.Notes {
 		b.WriteString(n)
 		b.WriteString("\n")
@@ -360,10 +405,10 @@ func formatUtil(util []float64) string {
 // data).
 func CSV(s *Series) string {
 	var b strings.Builder
-	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,dram_util,link_util\n")
+	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,retries,dram_util,link_util\n")
 	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%s,%s\n",
-			s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros,
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%s,%s\n",
+			s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros, p.Retries,
 			joinUtil(p.DRAMUtil), joinUtil(p.LinkUtil))
 	}
 	return b.String()

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// FailedPoint records one sweep point that produced no measurement: its
+// body panicked twice (once on the pooled engine, once on a fresh one) or
+// wedged past the wall-clock watchdog.
+type FailedPoint struct {
+	// Variant and Cores identify the point the same way Series.Points do.
+	// For experiments that reuse the Cores column for another axis (fig3's
+	// row ordinal, degrade's severity percent), Cores carries that axis.
+	Variant string
+	Cores   int
+	// Err is the failure description (panic value and stack, or timeout).
+	Err string
+}
+
+// pointTimeoutError marks a watchdog expiry; unlike a panic it is not
+// retried — a wedge is overwhelmingly deterministic (a simulation deadlock
+// or livelock), so a retry would just burn a second timeout.
+type pointTimeoutError struct{ d time.Duration }
+
+func (e pointTimeoutError) Error() string {
+	return fmt.Sprintf("timed out after %s (point abandoned)", e.d)
+}
+
+// defaultPointTimeout bounds one sweep point's wall clock. The slowest
+// legitimate point (a full 48-core non-quick simulation) finishes in
+// seconds, so two minutes is purely a wedge detector.
+const defaultPointTimeout = 2 * time.Minute
+
+func (o Options) pointTimeout() time.Duration {
+	if o.PointTimeout > 0 {
+		return o.PointTimeout
+	}
+	return defaultPointTimeout
+}
+
+// testPointHook, when non-nil, runs at the start of every guarded point
+// body. Tests install it to inject panics and wedges into chosen points;
+// attempt is 0 for the first try and 1 for the fresh-engine retry.
+var testPointHook func(exp, variant string, cores, attempt int)
+
+// runGuarded executes f on a child goroutine with a recover guard and a
+// wall-clock watchdog. A panic becomes an error; a watchdog expiry
+// abandons the child (it may be wedged forever inside the engine), disowns
+// the worker's pooled engine slot, and returns pointTimeoutError.
+func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Options) Point) (Point, error) {
+	co := o
+	if co.slot != nil {
+		co.slotGen = co.slot.generation()
+	}
+	type outcome struct {
+		p   Point
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+			}
+		}()
+		if testPointHook != nil {
+			testPointHook(exp, variant, cores, attempt)
+		}
+		ch <- outcome{p: f(co)}
+	}()
+	timer := time.NewTimer(o.pointTimeout())
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.p, out.err
+	case <-timer.C:
+		if co.slot != nil {
+			co.slot.abandon()
+		}
+		return Point{}, pointTimeoutError{o.pointTimeout()}
+	}
+}
+
+// safeCachedPoint is cachedPoint with crash isolation: the point body runs
+// under runGuarded, a panicking point is retried exactly once on a fresh
+// non-pooled engine (a recovered panic can leave a pooled engine's proc
+// state arbitrary), and a second panic or a watchdog timeout yields an
+// error instead of a Point. One crashing point therefore costs exactly
+// that point; the rest of the sweep completes.
+func (o Options) safeCachedPoint(exp, variant string, cores int, f func(o Options) Point) (Point, error) {
+	body := func(co Options) Point {
+		return co.cachedPoint(exp, variant, cores, func() Point { return f(co) })
+	}
+	p, err := o.runGuarded(exp, variant, cores, 0, body)
+	if err == nil {
+		return p, nil
+	}
+	var timeout pointTimeoutError
+	if errors.As(err, &timeout) {
+		return Point{}, err
+	}
+	ro := o
+	ro.FreshEngines = true
+	ro.slot = nil
+	p, err2 := ro.runGuarded(exp, variant, cores, 1, body)
+	if err2 == nil {
+		return p, nil
+	}
+	return Point{}, fmt.Errorf("failed twice (retried on a fresh engine): %v; retry: %v", err, err2)
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// isoRuns is a trivial one-variant grid whose points are pure functions of
+// the core count, so surviving points are easy to check.
+func isoRuns() []variantRun {
+	return []variantRun{{"V", func(c int, o Options) Point {
+		return Point{Cores: c, Variant: "V", PerCore: float64(c)}
+	}}}
+}
+
+func TestPointPanicIsRetriedOnFreshEngine(t *testing.T) {
+	defer func() { testPointHook = nil }()
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	testPointHook = func(exp, variant string, cores, attempt int) {
+		mu.Lock()
+		attempts[attempt]++
+		mu.Unlock()
+		if cores == 8 && attempt == 0 {
+			panic("injected transient panic")
+		}
+	}
+	o := Options{Cores: []int{1, 8}, Seed: 1}
+	s := &Series{ID: "iso-test"}
+	o.runGrid(s, isoRuns())
+	if len(s.Failed) != 0 {
+		t.Fatalf("transient panic left failed points: %+v", s.Failed)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(s.Points))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts[1] != 1 {
+		t.Errorf("retry attempts = %d, want exactly 1", attempts[1])
+	}
+}
+
+func TestPersistentPanicFailsExactlyOnePoint(t *testing.T) {
+	defer func() { testPointHook = nil }()
+	testPointHook = func(exp, variant string, cores, attempt int) {
+		if cores == 8 {
+			panic("injected persistent panic")
+		}
+	}
+	o := Options{Cores: []int{1, 8, 48}, Seed: 1}
+	s := &Series{ID: "iso-test"}
+	o.runGrid(s, isoRuns())
+	if len(s.Failed) != 1 {
+		t.Fatalf("failed points = %+v, want exactly one", s.Failed)
+	}
+	f := s.Failed[0]
+	if f.Variant != "V" || f.Cores != 8 {
+		t.Errorf("failed point identifies %s@%d, want V@8", f.Variant, f.Cores)
+	}
+	if !strings.Contains(f.Err, "injected persistent panic") || !strings.Contains(f.Err, "retry") {
+		t.Errorf("failure %q should carry the panic value and note the retry", f.Err)
+	}
+	// Every other point survived, in grid order.
+	if len(s.Points) != 2 || s.Points[0].Cores != 1 || s.Points[1].Cores != 48 {
+		t.Fatalf("surviving points = %+v, want cores 1 and 48", s.Points)
+	}
+	// The failure is visible in the rendered table.
+	if out := Format(s); !strings.Contains(out, "failed points (1)") {
+		t.Errorf("Format does not surface the failure:\n%s", out)
+	}
+}
+
+func TestWedgedPointHitsWatchdogWithoutRetry(t *testing.T) {
+	defer func() { testPointHook = nil }()
+	var wedgeAttempts atomic.Int64
+	testPointHook = func(exp, variant string, cores, attempt int) {
+		if cores == 8 {
+			wedgeAttempts.Add(1)
+			time.Sleep(1500 * time.Millisecond) // past the watchdog
+		}
+	}
+	o := Options{Cores: []int{1, 8}, Seed: 1, PointTimeout: 100 * time.Millisecond}
+	s := &Series{ID: "iso-test"}
+	start := time.Now()
+	o.runGrid(s, isoRuns())
+	if len(s.Failed) != 1 || !strings.Contains(s.Failed[0].Err, "timed out") {
+		t.Fatalf("failed points = %+v, want one timeout", s.Failed)
+	}
+	if len(s.Points) != 1 || s.Points[0].Cores != 1 {
+		t.Fatalf("surviving points = %+v, want just cores=1", s.Points)
+	}
+	if got := wedgeAttempts.Load(); got != 1 {
+		t.Errorf("wedged point ran %d times, want 1 (timeouts are not retried)", got)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Errorf("sweep took %s; the watchdog should cut the wedge off quickly", took)
+	}
+	// Let the leaked sleeper drain before the next test reuses the hook.
+	time.Sleep(1600 * time.Millisecond)
+}

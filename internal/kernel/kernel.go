@@ -6,6 +6,9 @@
 package kernel
 
 import (
+	"fmt"
+
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mm"
 	"repro/internal/netsim"
@@ -135,6 +138,14 @@ type Kernel struct {
 	// (DRAM.TransferPlaced), or grab a single chip's handle with DRAMFor;
 	// cross-chip transfers queue on every link of their route.
 	DRAM *mem.Controllers
+	// Faults is the compiled fault plan this kernel booted under (nil for
+	// a healthy machine).
+	Faults *fault.Plan
+	// NetFaults is the live NIC fault state every stack this kernel
+	// creates consults; timed plan events mutate it mid-run. Never nil.
+	NetFaults *fault.NetFaults
+
+	online []bool // per enabled core; nil means all online
 }
 
 // pageStructSample is the number of page structs modeled for false-sharing
@@ -152,21 +163,137 @@ func New(m *topo.Machine, cfg Config, seed uint64) *Kernel {
 // controllers, page structs) is rebuilt fresh for this run. The caller is
 // responsible for the engine being in its post-NewEngine/Reset state.
 func NewOnEngine(e *sim.Engine, cfg Config) *Kernel {
+	return NewOnEngineFaults(e, cfg, nil)
+}
+
+// NewOnEngineFaults boots a kernel under a compiled fault plan: boot-time
+// events (link/controller throttles, dead-link rerouting, offlined cores,
+// NIC drop/dup probabilities) are applied before the workload starts, and
+// timed events are injected by a zero-footprint injector proc at their
+// simulated timestamps. A nil plan is a healthy machine. It panics on a
+// plan that offlines every enabled core — compile-time validation catches
+// this for the full machine, but a narrower sweep point can still hit it,
+// and the harness's crash isolation turns the panic into a failed point.
+func NewOnEngineFaults(e *sim.Engine, cfg Config, plan *fault.Plan) *Kernel {
 	m := e.Machine
 	md := mem.NewModel(m)
 	alloc := mm.NewAllocator(md)
 	k := &Kernel{
-		Cfg:     cfg,
-		Machine: m,
-		Engine:  e,
-		MD:      md,
-		Alloc:   alloc,
-		FS:      vfs.New(md, alloc, cfg.VFS()),
-		Pages:   mm.NewPageStructs(md, pageStructSample, cfg.PageFalseSharingFix),
-		DRAM:    mem.NewControllers(),
+		Cfg:       cfg,
+		Machine:   m,
+		Engine:    e,
+		MD:        md,
+		Alloc:     alloc,
+		FS:        vfs.New(md, alloc, cfg.VFS()),
+		Pages:     mm.NewPageStructs(md, pageStructSample, cfg.PageFalseSharingFix),
+		DRAM:      mem.NewControllers(),
+		Faults:    plan,
+		NetFaults: &fault.NetFaults{},
 	}
 	k.Procs = proc.NewTable(md, k.Pages)
+	if plan != nil {
+		k.applyBootFaults(plan)
+	}
 	return k
+}
+
+// applyBootFaults applies the plan's t=0 state and arms the injector for
+// timed events.
+func (k *Kernel) applyBootFaults(plan *fault.Plan) {
+	n := k.Machine.NCores
+	offline := 0
+	for c := 0; c < n; c++ {
+		if plan.Offline[c] {
+			if k.online == nil {
+				k.online = make([]bool, n)
+				for i := range k.online {
+					k.online[i] = true
+				}
+			}
+			k.online[c] = false
+			offline++
+		}
+	}
+	if offline == n {
+		panic(fmt.Sprintf("kernel: fault plan offlines all %d enabled cores", n))
+	}
+	if plan.BootRoutes != nil {
+		k.DRAM.SetRoutes(plan.BootRoutes)
+	}
+	k.applyFaultEvents(plan.Boot)
+	if len(plan.Steps) > 0 {
+		// The injector proc sleeps to each step's timestamp and applies
+		// it. It spawns on the first online core but only ever idles, so
+		// it occupies no core time; it does extend the run to the last
+		// step's timestamp if the workload finishes first, which keeps
+		// "the fault fired" observable in the wall clock.
+		steps := plan.Steps
+		k.Engine.Spawn(k.FirstOnline(), "fault-injector", 0, func(p *sim.Proc) {
+			for _, st := range steps {
+				if st.AtCycles > p.Now() {
+					p.IdleUntil(st.AtCycles)
+				}
+				if st.Routes != nil {
+					k.DRAM.SetRoutes(st.Routes)
+				}
+				k.applyFaultEvents(st.Events)
+			}
+		})
+	}
+}
+
+// applyFaultEvents applies rate and NIC events (core events are folded
+// into the boot-time online map; route swaps are handled by the caller).
+func (k *Kernel) applyFaultEvents(evs []fault.Event) {
+	for _, ev := range evs {
+		switch ev.Kind {
+		case fault.KindLink:
+			if ev.Frac > 0 {
+				l, err := fault.LinkIndex(ev.A, ev.B)
+				if err != nil {
+					panic(err) // compile validated; unreachable
+				}
+				k.DRAM.ScaleLink(l, ev.Frac)
+			}
+			// A dead link (Frac == 0) is purely a routing change.
+		case fault.KindDRAM:
+			k.DRAM.ScaleController(ev.A, ev.Frac)
+		case fault.KindDrop:
+			k.NetFaults.Drop = ev.Frac
+		case fault.KindDup:
+			k.NetFaults.Dup = ev.Frac
+		}
+	}
+}
+
+// Online reports whether enabled core c is online (not offlined by the
+// fault plan). Workloads spawn workers only on online cores.
+func (k *Kernel) Online(c int) bool {
+	return k.online == nil || k.online[c]
+}
+
+// OnlineCores returns how many of the machine's enabled cores are online.
+func (k *Kernel) OnlineCores() int {
+	if k.online == nil {
+		return k.Machine.NCores
+	}
+	n := 0
+	for _, up := range k.online {
+		if up {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstOnline returns the lowest-numbered online core.
+func (k *Kernel) FirstOnline() int {
+	for c := 0; c < k.Machine.NCores; c++ {
+		if k.Online(c) {
+			return c
+		}
+	}
+	panic("kernel: no online cores") // applyBootFaults guarantees one
 }
 
 // DRAMFor returns the memory controller serving the given chip's DRAM.
@@ -182,9 +309,12 @@ func (k *Kernel) LinkUtilization() []float64 { return k.DRAM.LinkUtilization(k.E
 
 // NewStack creates a network stack on this kernel. nic may be nil for
 // loopback-only workloads. The stack charges device DMA payload bandwidth
-// against the kernel's memory system (links + home controller).
+// against the kernel's memory system (links + home controller) and
+// consults the kernel's live NIC fault state per packet.
 func (k *Kernel) NewStack(nic *netsim.NIC) *netsim.Stack {
-	return netsim.NewStack(k.MD, k.FS, nic, k.DRAM, k.Cfg.Net())
+	s := netsim.NewStack(k.MD, k.FS, nic, k.DRAM, k.Cfg.Net())
+	s.SetFaults(k.NetFaults)
+	return s
 }
 
 // NewAddressSpace creates a process address space homed on the given chip.

@@ -13,14 +13,28 @@ import (
 type rated struct {
 	res            *sim.Resource
 	bytesPerCycle  float64
+	ratedPerCycle  float64 // the healthy rate scale() restores from
 	bytesRequested int64
 }
 
 func newRated(name string, bytesPerSec float64) rated {
+	bpc := bytesPerSec / topo.CyclesPerSec()
 	return rated{
 		res:           sim.NewResource(name),
-		bytesPerCycle: bytesPerSec / topo.CyclesPerSec(),
+		bytesPerCycle: bpc,
+		ratedPerCycle: bpc,
 	}
+}
+
+// scale sets the interface's current rate to frac of its healthy rated
+// bandwidth — fault injection's throttle. frac must be positive: a zero
+// rate would make every transfer infinite; outright removal is a routing
+// decision (see Controllers.SetRoutes), not a rate.
+func (r *rated) scale(frac float64) {
+	if frac <= 0 {
+		panic(fmt.Sprintf("mem: rate scale %g must be positive on %s", frac, r.res.Name))
+	}
+	r.bytesPerCycle = r.ratedPerCycle * frac
 }
 
 // CyclesFor returns how many cycles moving n bytes takes at the full
@@ -101,6 +115,11 @@ func (ln *Link) ID() int { return ln.id }
 type Controllers struct {
 	chips []*Controller
 	links []*Link
+	// routes is the active chip-to-chip routing. The default table is the
+	// healthy ring; fault injection swaps in a table that routes around
+	// dead links (SetRoutes), and every transfer — CPU and DMA — follows
+	// it, paying the longer detour's queueing and hop latency.
+	routes *topo.RouteTable
 }
 
 // NewControllers returns the paper machine's memory system: eight
@@ -116,8 +135,9 @@ func NewControllers() *Controllers {
 // link:controller bandwidth ratio matches the real machine's.
 func NewControllersRate(aggregateBytesPerSec float64) *Controllers {
 	cs := &Controllers{
-		chips: make([]*Controller, topo.Chips),
-		links: make([]*Link, topo.NumLinks),
+		chips:  make([]*Controller, topo.Chips),
+		links:  make([]*Link, topo.NumLinks),
+		routes: topo.DefaultRouteTable(),
 	}
 	linkScale := topo.HTLinkBytesPerSec / topo.DRAMMaxBytesPerSec
 	for i := range cs.chips {
@@ -145,12 +165,37 @@ func (cs *Controllers) Chip(i int) *Controller {
 	return cs.chips[i]
 }
 
+// SetRoutes swaps the active routing, typically for a table that avoids
+// links a fault plan killed. In-flight queueing on the old path is
+// unaffected (bytes already charged stay charged); every transfer issued
+// after the swap follows the new table.
+func (cs *Controllers) SetRoutes(rt *topo.RouteTable) {
+	if rt == nil {
+		rt = topo.DefaultRouteTable()
+	}
+	cs.routes = rt
+}
+
+// ScaleLink throttles the given HT link to frac of its rated bandwidth
+// (fault injection). frac must be positive; removing a link outright is
+// expressed through SetRoutes with a table that avoids it.
+func (cs *Controllers) ScaleLink(i int, frac float64) {
+	cs.Link(i).scale(frac)
+}
+
+// ScaleController throttles the given chip's memory controller to frac of
+// its rated bandwidth (fault injection). frac must be positive: a chip's
+// DRAM can be slow, never unreachable.
+func (cs *Controllers) ScaleController(chip int, frac float64) {
+	cs.Chip(chip).scale(frac)
+}
+
 // transferVia is the one route-charging rule: n bytes moving from chip
 // origin to the DRAM of chip home queue on every HT link along the route,
 // then on home's controller. Both CPU transfers and device DMA charge
 // through here so the rule cannot diverge between them.
 func (cs *Controllers) transferVia(p *sim.Proc, origin, home int, n int64) {
-	for _, l := range topo.Route(origin, home) {
+	for _, l := range cs.routes.Route(origin, home) {
 		cs.links[l].Transfer(p, n)
 	}
 	cs.Chip(home).Transfer(p, n)
@@ -168,7 +213,9 @@ func (cs *Controllers) Transfer(p *sim.Proc, home int, n int64) {
 	}
 	me := p.Chip()
 	cs.transferVia(p, me, home, n)
-	if hops := topo.HopDistance(me, home); hops > 0 {
+	// Hop latency follows the active route's length: a rerouted detour
+	// around a dead link costs its real distance, not the healthy ring's.
+	if hops := cs.routes.Hops(me, home); hops > 0 {
 		p.Idle(topo.HTLatency(hops))
 	}
 }
@@ -198,7 +245,7 @@ func (cs *Controllers) DMARead(p *sim.Proc, home int, n int64) {
 	if n <= 0 {
 		return
 	}
-	for _, l := range topo.Route(home, topo.IOHubChip) {
+	for _, l := range cs.routes.Route(home, topo.IOHubChip) {
 		cs.links[l].Transfer(p, n)
 	}
 	cs.Chip(home).Transfer(p, n)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/scount"
 	"repro/internal/sim"
@@ -54,7 +55,16 @@ type Stack struct {
 	protoMem scount.Counter // per-protocol memory accounting (TCP or UDP)
 	netdev   *netDev        // net_device + device structures
 
+	// faults, when non-nil, is the live NIC fault state (drop/dup
+	// probabilities) the kernel's fault plan controls; timed events mutate
+	// the pointed-to struct mid-run. Nil or all-zero means a healthy card
+	// and, crucially, no PRNG draws: a clean run's random stream is
+	// bit-identical with and without the fault machinery compiled in.
+	faults *fault.NetFaults
+
 	misdirected int64
+	retries     int64 // packets resent after a drop (= attempts lost)
+	duplicated  int64 // spurious duplicate deliveries processed
 }
 
 // netDev models the net_device/device structure pair. Every packet reads
@@ -137,12 +147,76 @@ func (s *Stack) dmaHome(p *sim.Proc) int {
 // Misdirected returns how many packets were steered to the wrong core.
 func (s *Stack) Misdirected() int64 { return s.misdirected }
 
+// SetFaults attaches the live NIC fault state. The pointer is shared with
+// the kernel's fault plan so timed events take effect without the stack
+// knowing; nil detaches (healthy card).
+func (s *Stack) SetFaults(f *fault.NetFaults) { s.faults = f }
+
+// Retries returns how many packets were resent after a drop (every lost
+// attempt forces exactly one resend, so this also counts drops).
+func (s *Stack) Retries() int64 { return s.retries }
+
+// Duplicated returns how many spurious duplicate deliveries were
+// processed and discarded.
+func (s *Stack) Duplicated() int64 { return s.duplicated }
+
+// lostAttempts returns how many consecutive sends of one packet the card
+// drops before a successful delivery, bounded by the retry budget: the
+// packet's fault.RetryMaxAttempts'th send always delivers, so closed-loop
+// clients pay bounded timeouts instead of wedging on a PRNG streak. With
+// no drop fault active it returns 0 without consuming randomness.
+func (s *Stack) lostAttempts(p *sim.Proc) int {
+	f := s.faults
+	if f == nil || f.Drop <= 0 || s.nic == nil {
+		return 0
+	}
+	lost := 0
+	for lost < fault.RetryMaxAttempts-1 && p.Engine().Rand.Float64() < f.Drop {
+		lost++
+	}
+	return lost
+}
+
+// chargeLostAttempts pays for each dropped send of a packet: the frame
+// reaches the card and dies there (FIFO overflow, corrupt lane), so each
+// attempt costs a card slot plus driver work, and the sender notices only
+// at its retransmission timeout — exponential backoff, capped. The
+// timeout idles the proc, not its core.
+func (s *Stack) chargeLostAttempts(p *sim.Proc, lost int) {
+	for i := 0; i < lost; i++ {
+		s.nic.Transfer(p, 1)
+		p.Advance(driverWork)
+		p.Idle(fault.Backoff(i))
+		s.retries++
+	}
+}
+
+// chargeDuplicate processes a spurious duplicate delivery when the dup
+// fault fires: the copy occupies the card and the driver, and protocol
+// processing discards it as a duplicate after header work — no payload
+// copy, no socket queue. No PRNG draw happens unless the fault is active.
+func (s *Stack) chargeDuplicate(p *sim.Proc) {
+	f := s.faults
+	if f == nil || f.Dup <= 0 || s.nic == nil {
+		return
+	}
+	if p.Engine().Rand.Float64() < f.Dup {
+		s.nic.Transfer(p, 1)
+		p.Advance(driverWork + protoWork/4)
+		s.duplicated++
+	}
+}
+
 // SkbPool exposes the packet-buffer pool (statistics).
 func (s *Stack) SkbPool() *SkbPool { return s.skb }
 
 // rxPacket charges the receive path for one packet of n payload bytes.
 func (s *Stack) rxPacket(p *sim.Proc, n int64) {
 	if s.nic != nil {
+		// Inbound drops: the client's packet died at the card; the client
+		// resends after its timeout and the server's closed loop simply
+		// sees the request later.
+		s.chargeLostAttempts(p, s.lostAttempts(p))
 		s.nic.Transfer(p, 1)
 		if s.dram != nil {
 			// The card DMAs the payload from the I/O hub into the
@@ -160,6 +234,9 @@ func (s *Stack) rxPacket(p *sim.Proc, n int64) {
 	s.dst.Release(p, 1)
 	s.protoMem.Release(p, 1)
 	s.skb.Put(p)
+	// A duplicated retransmission of an already-delivered packet may
+	// arrive and be discarded after header processing.
+	s.chargeDuplicate(p)
 }
 
 // txPacket charges the transmit path for one packet of n payload bytes.
@@ -172,6 +249,10 @@ func (s *Stack) txPacket(p *sim.Proc, n int64) {
 	s.dst.Release(p, 1)
 	s.protoMem.Release(p, 1)
 	if s.nic != nil {
+		// Outbound drops: the response died after leaving the host; the
+		// server's TCP/app-level retransmission resends it after each
+		// timeout, and only then does the closed-loop client continue.
+		s.chargeLostAttempts(p, s.lostAttempts(p))
 		s.nic.Transfer(p, 1)
 		if s.dram != nil {
 			// The card DMAs the payload out of the send buffer's home

@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RouteTable is a complete chip-to-chip routing for the HyperTransport
+// ring, possibly with links removed: Route(a, b) lists the link indices a
+// transfer from chip a to chip b traverses, and Hops(a, b) is that path's
+// length. The default table is the healthy ring's precomputed shortest
+// paths (identical to the package-level Route/HopDistance); tables built
+// with NewRouteTable reroute deterministically around dead links. Tables
+// are immutable after construction and safe to share across engines.
+type RouteTable struct {
+	routes [Chips][Chips][]int
+	hops   [Chips][Chips]int
+	dead   []int
+}
+
+// defaultTable holds the same precomputed ring routes as the package
+// routes array. It is built from buildRoute directly rather than from
+// that array because package variable initializers run before init().
+var defaultTable = func() *RouteTable {
+	rt := &RouteTable{}
+	for a := 0; a < Chips; a++ {
+		for b := 0; b < Chips; b++ {
+			rt.routes[a][b] = buildRoute(a, b)
+			rt.hops[a][b] = HopDistance(a, b)
+		}
+	}
+	return rt
+}()
+
+// DefaultRouteTable returns the healthy machine's routing: ring shortest
+// paths with the antipodal tie broken toward increasing chip numbers.
+func DefaultRouteTable() *RouteTable { return defaultTable }
+
+// NewRouteTable returns a routing for the ring with the given links
+// removed (by ring index, see LinkEnds). Paths are breadth-first shortest
+// routes over the surviving links with a deterministic tie-break (the
+// increasing-chip direction is explored first), so two engines building a
+// table from the same dead set route identically. An error is returned if
+// the dead links partition the ring — some chip pair would have no path —
+// or a link index is out of range.
+func NewRouteTable(dead []int) (*RouteTable, error) {
+	for _, l := range dead {
+		if l < 0 || l >= NumLinks {
+			return nil, fmt.Errorf("topo: dead link %d out of range [0,%d)", l, NumLinks)
+		}
+	}
+	if len(dead) == 0 {
+		return defaultTable, nil
+	}
+	deadSet := map[int]bool{}
+	for _, l := range dead {
+		deadSet[l] = true
+	}
+	rt := &RouteTable{dead: append([]int(nil), dead...)}
+	sort.Ints(rt.dead)
+	for a := 0; a < Chips; a++ {
+		// BFS from a. prev[c] records the (chip, link) we reached c by.
+		type hop struct{ chip, link int }
+		prev := [Chips]hop{}
+		seen := [Chips]bool{}
+		seen[a] = true
+		queue := []int{a}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			// Deterministic neighbor order: the increasing-chip direction
+			// first, matching the healthy ring's tie-break.
+			next := []hop{
+				{(c + 1) % Chips, c}, // link c joins c and c+1
+				{(c - 1 + Chips) % Chips, (c - 1 + Chips) % Chips}, // link c-1 joins c-1 and c
+			}
+			for _, n := range next {
+				if deadSet[n.link] || seen[n.chip] {
+					continue
+				}
+				seen[n.chip] = true
+				prev[n.chip] = hop{c, n.link}
+				queue = append(queue, n.chip)
+			}
+		}
+		for b := 0; b < Chips; b++ {
+			if a == b {
+				continue
+			}
+			if !seen[b] {
+				return nil, fmt.Errorf("topo: dead links %v partition the ring: no path from chip %d to chip %d", rt.dead, a, b)
+			}
+			// Walk back from b to a, then reverse into traversal order.
+			var rev []int
+			for c := b; c != a; c = prev[c].chip {
+				rev = append(rev, prev[c].link)
+			}
+			path := make([]int, len(rev))
+			for i, l := range rev {
+				path[len(rev)-1-i] = l
+			}
+			rt.routes[a][b] = path
+			rt.hops[a][b] = len(path)
+		}
+	}
+	return rt, nil
+}
+
+// Route returns the link indices on the path from chip a to chip b, in
+// traversal order (empty for a == b). Callers must not mutate the slice.
+func (rt *RouteTable) Route(a, b int) []int {
+	if a < 0 || a >= Chips || b < 0 || b >= Chips {
+		panic(fmt.Sprintf("topo: route %d->%d out of range [0,%d)", a, b, Chips))
+	}
+	return rt.routes[a][b]
+}
+
+// Hops returns the path length from chip a to chip b under this table; it
+// equals HopDistance on the default table and can only grow when links
+// are dead (the detour is longer, and its latency charges accordingly).
+func (rt *RouteTable) Hops(a, b int) int {
+	if a < 0 || a >= Chips || b < 0 || b >= Chips {
+		panic(fmt.Sprintf("topo: hops %d->%d out of range [0,%d)", a, b, Chips))
+	}
+	return rt.hops[a][b]
+}
+
+// DeadLinks returns the ring indices this table routes around (nil for
+// the default table). Callers must not mutate the slice.
+func (rt *RouteTable) DeadLinks() []int { return rt.dead }

@@ -16,7 +16,9 @@ package mosbench
 import (
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/mem"
 )
@@ -48,6 +50,33 @@ type Options struct {
 	// Results are identical either way; this is an escape hatch and
 	// comparison knob.
 	FreshEngines bool
+	// Fault is a deterministic fault-injection spec applied to every
+	// kernel the experiment boots: comma-separated events like
+	// "link:3-4@50%,dram:0@75%,core:7@off,drop:0.01,dup:0.001", each with
+	// an optional "@t=<dur>" activation time ("link:0-1@down@t=2ms").
+	// Empty or "none" injects nothing. See CheckFault.
+	Fault string
+	// PointTimeout bounds one sweep point's wall clock; a point that runs
+	// past it is abandoned and reported in Series.Failed. Zero means the
+	// default (2 minutes).
+	PointTimeout time.Duration
+}
+
+// CheckFault validates a fault-injection spec without running anything,
+// returning the error a Run with this spec would report.
+func CheckFault(spec string) error {
+	s, err := fault.Parse(spec)
+	if err != nil {
+		return err
+	}
+	return s.Validate()
+}
+
+// CheckPlacement validates a placement policy string ("local", "striped",
+// "remote", "home:N") without running anything.
+func CheckPlacement(s string) error {
+	_, err := mem.ParsePlacement(s)
+	return err
 }
 
 // Cache is a handle to an on-disk sweep-point cache shared across runs
@@ -118,6 +147,11 @@ type CacheStats struct {
 	Experiments map[string]ExperimentCacheStats `json:"experiments"`
 }
 
+// WriteStats writes the cache's activity snapshot as JSON to path,
+// creating missing parent directories; the write is atomic (unique temp
+// file + rename), the same discipline Save uses for points.json.
+func (c *Cache) WriteStats(path string) error { return c.inner.WriteStatsJSON(path) }
+
 // Stats returns per-experiment hit/miss/invalidation counts plus totals.
 func (c *Cache) Stats() CacheStats {
 	hs := c.inner.Stats()
@@ -147,6 +181,19 @@ type Point struct {
 	// LinkUtil is each HyperTransport link's busy fraction during the
 	// run (nil for workloads that stream no bulk data).
 	LinkUtil []float64
+	// Retries is client-visible network retransmissions per operation —
+	// zero except under injected packet loss (Options.Fault).
+	Retries float64
+}
+
+// FailedPoint identifies one sweep point that produced no measurement:
+// its simulation panicked (twice — points are retried once on a fresh
+// engine) or wedged past the per-point watchdog. The rest of the sweep is
+// unaffected.
+type FailedPoint struct {
+	Variant string
+	Cores   int
+	Err     string
 }
 
 // Series is the result of one experiment.
@@ -155,7 +202,9 @@ type Series struct {
 	Title string
 	Unit  string
 	Point []Point
-	Notes []string
+	// Failed lists sweep points that crashed or wedged; see FailedPoint.
+	Failed []FailedPoint
+	Notes  []string
 
 	inner *harness.Series
 }
@@ -228,7 +277,17 @@ func Run(id string, o Options) (*Series, error) {
 	}
 	ho := harness.Options{
 		Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial,
-		Placement: pl, FreshEngines: o.FreshEngines,
+		Placement: pl, FreshEngines: o.FreshEngines, PointTimeout: o.PointTimeout,
+	}
+	if o.Fault != "" {
+		spec, err := fault.Parse(o.Fault)
+		if err != nil {
+			return nil, err
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		ho.Fault = spec
 	}
 	if o.Cache != nil {
 		ho.Cache = o.Cache.inner
@@ -239,8 +298,11 @@ func Run(id string, o Options) (*Series, error) {
 		s.Point = append(s.Point, Point{
 			Cores: p.Cores, Variant: p.Variant, PerCore: p.PerCore,
 			UserMicros: p.UserMicros, SysMicros: p.SysMicros,
-			DRAMUtil: p.DRAMUtil, LinkUtil: p.LinkUtil,
+			DRAMUtil: p.DRAMUtil, LinkUtil: p.LinkUtil, Retries: p.Retries,
 		})
+	}
+	for _, f := range hs.Failed {
+		s.Failed = append(s.Failed, FailedPoint{Variant: f.Variant, Cores: f.Cores, Err: f.Err})
 	}
 	return s, nil
 }
