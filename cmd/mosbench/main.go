@@ -14,19 +14,32 @@
 //	mosbench -all -quick
 //	mosbench -all -cores 1..48 -cache ./sweepcache   (second run: all hits)
 //	mosbench -all -cache ./sweepcache -verbose -cachestats stats.json
+//	mosbench -all -cores 1..48 -cache ./sweepcache -shards 4
 //	mosbench -benchjson BENCH_sweep.json
+//	mosbench -benchjson /tmp/new.json -benchbaseline BENCH_sweep.json
 //
-// -benchjson runs the simulator microbenchmark suite and exits; it
-// ignores every other flag.
+// -benchjson runs the simulator microbenchmark suite and exits; apart
+// from -benchbaseline (which gates the fresh numbers against a committed
+// report) it ignores every other flag.
+//
+// -shards N splits the sweep's point grid across N worker processes
+// sharing the -cache directory: each point's identity hashes to exactly
+// one shard, the workers run concurrently, and the parent then replays
+// the whole grid from the warm cache to print the merged result — which
+// is bit-for-bit the single-process output. -shard-index I instead runs
+// just shard I in this process (what the coordinator execs, and what a
+// multi-machine CI matrix invokes directly).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/mosbench"
 )
@@ -47,6 +60,10 @@ func main() {
 		verbose = flag.Bool("verbose", false, "report per-experiment cache hit/miss/invalidation counters after the run (requires -cache)")
 		stats   = flag.String("cachestats", "", "write per-experiment cache hit/miss stats as JSON to this path after the run (requires -cache)")
 		bench   = flag.String("benchjson", "", "write simulator microbenchmarks (engine dispatch, handoff, sweep wall-clock) as JSON to this path and exit, ignoring every other flag")
+		benchBase  = flag.String("benchbaseline", "", "after -benchjson, compare the fresh numbers against the committed report at this path and exit 1 if any metric regressed by more than -benchfactor")
+		benchFact  = flag.Float64("benchfactor", 2.0, "allowed growth factor per metric for -benchbaseline")
+		shards     = flag.Int("shards", 1, "split the sweep across N worker processes sharing -cache <dir>, then print the merged result")
+		shardIndex = flag.Int("shard-index", -1, "run only the shard with this 0-based index (requires -shards N and -cache <dir>); used by the -shards coordinator and by multi-machine CI")
 	)
 	flag.Parse()
 
@@ -56,6 +73,22 @@ func main() {
 	if *stats != "" && *cache == "" && *bench == "" {
 		fatalUsage("-cachestats writes cache counters, so it needs -cache <dir>; run with e.g. -cache ./sweepcache -cachestats stats.json")
 	}
+	if *benchBase != "" && *bench == "" {
+		fatalUsage("-benchbaseline gates a fresh -benchjson report, so it needs -benchjson <path>; run with e.g. -benchjson /tmp/new.json -benchbaseline BENCH_sweep.json")
+	}
+	if *shards < 1 {
+		fatalUsage(fmt.Sprintf("-shards must be at least 1, got %d; run with e.g. -shards 4 -cache ./sweepcache", *shards))
+	}
+	if *shardIndex < -1 {
+		fatalUsage(fmt.Sprintf("-shard-index must not be negative, got %d", *shardIndex))
+	}
+	if *shardIndex >= *shards {
+		fatalUsage(fmt.Sprintf("-shard-index %d out of range for -shards %d; valid indices are 0..%d",
+			*shardIndex, *shards, *shards-1))
+	}
+	if *shards > 1 && *cache == "" && *bench == "" {
+		fatalUsage("-shards splits the sweep across processes that share a point cache, so it needs -cache <dir>; run with e.g. -shards 2 -cache ./sweepcache")
+	}
 
 	if *bench != "" {
 		results, err := mosbench.WriteBenchJSON(*bench)
@@ -63,9 +96,23 @@ func main() {
 			fatal(err)
 		}
 		for _, r := range results {
-			fmt.Printf("%-28s %14.1f ns/op  (%d ops)\n", r.Name, r.NsPerOp, r.Ops)
+			fmt.Printf("%-30s %14.1f ns/op  (%d ops)\n", r.Name, r.NsPerOp, r.Ops)
 		}
 		fmt.Printf("wrote %s\n", *bench)
+		if *benchBase != "" {
+			regs, err := mosbench.CompareBenchJSON(*benchBase, *bench, *benchFact)
+			if err != nil {
+				fatal(err)
+			}
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "mosbench: %d benchmark metric(s) regressed vs %s:\n", len(regs), *benchBase)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, " ", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no metric regressed vs %s (allowed factor %.2f)\n", *benchBase, *benchFact)
+		}
 		return
 	}
 
@@ -91,6 +138,18 @@ func main() {
 			fatal(err)
 		}
 		o.Cores = cs
+	}
+	switch {
+	case *shardIndex >= 0:
+		// Worker: compute only the owned points, store them in the shared
+		// cache, and let the coordinator (or CI) assemble the full grid.
+		o.Shards, o.ShardIndex = *shards, *shardIndex
+	case *shards > 1 && !*list:
+		// Coordinator: run every shard worker to completion first, so the
+		// cache handle opened below sees all their stored points. This
+		// process then continues as the merge pass — the same sweep with
+		// Shards left at 1 — and prints the full grid from the warm cache.
+		runShardWorkers(*shards)
 	}
 	if *cache != "" {
 		c, err := mosbench.OpenCache(*cache)
@@ -177,6 +236,39 @@ func runOne(id string, o mosbench.Options, csv bool, failed *[]string) error {
 		fmt.Println(s.Table())
 	}
 	return nil
+}
+
+// runShardWorkers re-execs this binary once per shard with -shard-index
+// appended, running every worker concurrently against the shared -cache
+// directory. Worker stdout (a partial grid full of holes) is discarded;
+// stderr streams through. A worker that fails is reported but not fatal:
+// the merge pass recomputes whatever its cache section is missing, and
+// genuinely failed sweep points resurface in the merge pass's own output.
+func runShardWorkers(shards int) {
+	self, err := os.Executable()
+	if err != nil {
+		fatal(fmt.Errorf("shard coordinator: %v", err))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := append(append([]string{}, os.Args[1:]...), "-shard-index", strconv.Itoa(i))
+			cmd := exec.Command(self, args...)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("shard %d/%d: %v", i, shards, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mosbench:", err, "(missing points will be computed by the merge pass)")
+		}
+	}
 }
 
 // knownExperiment reports whether id is registered.

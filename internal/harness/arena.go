@@ -113,10 +113,17 @@ func (a *engineArena) put(s *engineSlot) {
 // is active, or a fresh engine when it is not (Options.FreshEngines, or a
 // caller outside parallelMap).
 func (o Options) newEngine(m *topo.Machine) *sim.Engine {
+	var e *sim.Engine
 	if o.FreshEngines || o.slot == nil {
-		return sim.NewEngine(m, o.seed())
+		e = sim.NewEngine(m, o.seed())
+	} else {
+		e = o.slot.engine(o.slotGen, m, o.seed())
 	}
-	return o.slot.engine(o.slotGen, m, o.seed())
+	// Applied on every acquisition: arena slots are shared across runs
+	// with different Options, so the previous point may have left the
+	// other scheduling mode set.
+	e.SetContSched(!o.NoContSched)
+	return e
 }
 
 // newKernel boots a kernel for one sweep point on o.newEngine's engine,

@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -117,6 +118,19 @@ type Options struct {
 	// that runs past it is abandoned and reported in Series.Failed. Zero
 	// means the default (2 minutes).
 	PointTimeout time.Duration
+	// Shards and ShardIndex split the sweep's point grid across
+	// cooperating processes (see shard.go): with Shards > 1, this run
+	// computes only the points whose identity hashes to ShardIndex and
+	// silently skips the rest. Shard runs should share a Cache directory;
+	// a follow-up run with Shards unset then merges every shard's points
+	// into a complete Series. Validate combinations with ValidateShards.
+	Shards, ShardIndex int
+	// NoContSched disables continuation scheduling in every engine this
+	// run builds: SpawnCont bodies execute on parked goroutines through
+	// the directive interpreter instead of inline on the dispatcher.
+	// Results are bit-for-bit identical either way (pinned by
+	// TestContSchedDeterminism); the knob exists for that comparison.
+	NoContSched bool
 
 	// slot is the calling sweep worker's pooled engine, set by
 	// parallelMap; nil outside a sweep (fresh engines are used then).
@@ -235,6 +249,9 @@ func (o Options) runGrid(s *Series, runs []variantRun) {
 	})
 	for i := range pts {
 		if errs[i] != nil {
+			if errors.Is(errs[i], errShardSkipped) {
+				continue // another shard's point: not a failure, not a result
+			}
 			s.Failed = append(s.Failed, FailedPoint{
 				Variant: runs[i/len(cores)].name,
 				Cores:   cores[i%len(cores)],

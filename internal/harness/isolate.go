@@ -91,6 +91,9 @@ func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Op
 // error instead of a Point. One crashing point therefore costs exactly
 // that point; the rest of the sweep completes.
 func (o Options) safeCachedPoint(exp, variant string, cores int, f func(o Options) Point) (Point, error) {
+	if !o.shardOwns(exp, o.cacheKey(variant, cores)) {
+		return Point{}, errShardSkipped
+	}
 	body := func(co Options) Point {
 		return co.cachedPoint(exp, variant, cores, func() Point { return f(co) })
 	}

@@ -75,24 +75,31 @@ func runHWLatencies(o Options) *Series {
 	lineShared := md.Alloc(0)
 	lineDirty := md.Alloc(0)
 
-	e.Spawn(5, "warm-sharer", 0, func(p *sim.Proc) {
-		p.Advance(md.Read(p.Core(), lineShared, p.Now()))
+	// The probes never block mid-step, so they run as continuation procs:
+	// each segment performs one coherence access and charges its latency.
+	e.SpawnCont(5, "warm-sharer", 0, func(p *sim.Proc) sim.Cont {
+		return p.AdvanceThen(md.Read(p.Core(), lineShared, p.Now()), nil)
 	})
-	e.Spawn(47, "dirtier", 0, func(p *sim.Proc) {
-		p.Advance(md.Write(p.Core(), lineDirty, p.Now()))
+	e.SpawnCont(47, "dirtier", 0, func(p *sim.Proc) sim.Cont {
+		return p.AdvanceThen(md.Write(p.Core(), lineDirty, p.Now()), nil)
 	})
-	e.Spawn(0, "prober", 1_000_000, func(p *sim.Proc) {
-		dramLocal = md.Read(p.Core(), lineLocal, p.Now())
-		p.Advance(dramLocal)
-		l1 = md.Read(p.Core(), lineLocal, p.Now())
-		p.Advance(l1)
-		dramFar = md.Read(p.Core(), lineFar, p.Now())
-		p.Advance(dramFar)
-		l3 = md.Read(p.Core(), lineShared, p.Now())
-		p.Advance(l3)
-		remoteDirty = md.Read(p.Core(), lineDirty, p.Now())
-		p.Advance(remoteDirty)
-	})
+	probes := []func(p *sim.Proc) int64{
+		func(p *sim.Proc) int64 { dramLocal = md.Read(p.Core(), lineLocal, p.Now()); return dramLocal },
+		func(p *sim.Proc) int64 { l1 = md.Read(p.Core(), lineLocal, p.Now()); return l1 },
+		func(p *sim.Proc) int64 { dramFar = md.Read(p.Core(), lineFar, p.Now()); return dramFar },
+		func(p *sim.Proc) int64 { l3 = md.Read(p.Core(), lineShared, p.Now()); return l3 },
+		func(p *sim.Proc) int64 { remoteDirty = md.Read(p.Core(), lineDirty, p.Now()); return remoteDirty },
+	}
+	var seg func(i int) sim.ContFunc
+	seg = func(i int) sim.ContFunc {
+		return func(p *sim.Proc) sim.Cont {
+			if i == len(probes) {
+				return p.Stop()
+			}
+			return p.AdvanceThen(probes[i](p), seg(i+1))
+		}
+	}
+	e.SpawnCont(0, "prober", 1_000_000, seg(0))
 	e.Run()
 
 	add := func(name string, measured int64, paper string) {

@@ -46,9 +46,11 @@ func timeOp(name string, ops int64, fn func()) BenchResult {
 // RunPerfSuite measures the simulator's hot paths with wall-clock timers
 // and returns machine-readable results: engine dispatch (the non-yielding
 // Advance fast path), the proc-to-proc handoff, spawn/run cycles on fresh
-// vs reused engines, and quick-sweep wall-clock cold vs warm-cache. It
-// seeds the repo's performance trajectory; CI runs it as a build/panic
-// smoke (timings are environment-dependent and not asserted).
+// vs reused engines (continuation-scheduled and goroutine-parked),
+// quick-sweep wall-clock cold vs warm-cache, and the cold full-grid fig4
+// sweep whole and as one shard of two. The committed BENCH_sweep.json is
+// the baseline; CI reruns the suite and fails on >2x regression of any
+// metric (CompareBenchReports).
 func RunPerfSuite() []BenchResult {
 	var out []BenchResult
 
@@ -82,11 +84,16 @@ func RunPerfSuite() []BenchResult {
 	}
 
 	// Spawn/run cycles: fresh engine per cycle vs one reused engine. The
-	// reused number is the arena's steady-state per-point overhead.
+	// reused number is the arena's steady-state per-point overhead; with
+	// continuation procs the whole 48-proc cycle runs on the scheduler's
+	// goroutine with zero channel operations. spawn_run_reused_parked is
+	// the same cycle on the goroutine fallback path (parked pooled procs),
+	// isolating what the continuation scheduler saves.
 	{
 		const cycles, procs = 200, 48
 		m := topo.New(procs)
 		body := func(p *sim.Proc) { p.Advance(10) }
+		contBody := func(p *sim.Proc) sim.Cont { return p.AdvanceThen(10, nil) }
 		out = append(out, timeOp("spawn_run_fresh_engine", cycles, func() {
 			for i := 0; i < cycles; i++ {
 				e := sim.NewEngine(m, 1)
@@ -102,9 +109,20 @@ func RunPerfSuite() []BenchResult {
 			for i := 0; i < cycles; i++ {
 				e.Reset(1)
 				for c := 0; c < procs; c++ {
-					e.Spawn(c, "p", 0, body)
+					e.SpawnCont(c, "p", 0, contBody)
 				}
 				e.Run()
+			}
+		}))
+		ep := sim.NewPooledEngine(m, 1)
+		defer ep.Close()
+		out = append(out, timeOp("spawn_run_reused_parked", cycles, func() {
+			for i := 0; i < cycles; i++ {
+				ep.Reset(1)
+				for c := 0; c < procs; c++ {
+					ep.Spawn(c, "p", 0, body)
+				}
+				ep.Run()
 			}
 		}))
 	}
@@ -128,7 +146,65 @@ func RunPerfSuite() []BenchResult {
 		}
 	}
 
+	// Cold full-grid sweep: fig4 across the paper's entire 1..48 x-axis
+	// with no cache, then the same grid restricted to shard 0 of 2 — the
+	// per-process cost a sharded CI run pays.
+	{
+		fig4 := ByID("fig4")
+		grid := make([]int, 48)
+		for i := range grid {
+			grid[i] = i + 1
+		}
+		out = append(out, timeOp("full_grid_fig4_cold", 1, func() {
+			fig4.Run(Options{Quick: true, Seed: 1, Cores: grid})
+		}))
+		out = append(out, timeOp("full_grid_fig4_cold_shard0of2", 1, func() {
+			fig4.Run(Options{Quick: true, Seed: 1, Cores: grid, Shards: 2, ShardIndex: 0})
+		}))
+	}
+
 	return out
+}
+
+// ReadBenchReport loads a -benchjson report, rejecting unknown schemas.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench report read: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("harness: bench report %s: %w", path, err)
+	}
+	if r.Schema != benchReportSchema {
+		return nil, fmt.Errorf("harness: bench report %s: schema %q, want %q", path, r.Schema, benchReportSchema)
+	}
+	return &r, nil
+}
+
+// CompareBenchReports checks current against baseline: any metric present
+// in both whose ns/op grew by more than factor is reported as a
+// regression, one human-readable line each. Metrics present in only one
+// report are ignored — the suite grows over time, and dropping a metric
+// is a review-visible change to the committed baseline, not a perf event.
+func CompareBenchReports(baseline, current *BenchReport, factor float64) []string {
+	base := make(map[string]float64, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	var regressions []string
+	for _, r := range current.Results {
+		b, ok := base[r.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		if r.NsPerOp > b*factor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f ns/op (%.2fx > %.2fx allowed)",
+				r.Name, r.NsPerOp, b, r.NsPerOp/b, factor))
+		}
+	}
+	return regressions
 }
 
 // WriteBenchJSON runs the perf suite and writes the report to path.

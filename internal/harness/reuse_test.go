@@ -170,3 +170,42 @@ func TestFig11HasStripedPlacementVariant(t *testing.T) {
 			maxLink(striped), maxLink(local))
 	}
 }
+
+// maxLinkUtil is the busiest HyperTransport link's utilization in a point.
+func maxLinkUtil(p Point) float64 {
+	m := 0.0
+	for _, u := range p.LinkUtil {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+func TestFig9HasStripedPlacementVariant(t *testing.T) {
+	s := ByID("fig9").Run(Options{Quick: true, Seed: 1, Cores: []int{48}})
+	local, ok1 := s.Get("PK", 48)
+	striped, ok2 := s.Get("PK + striped", 48)
+	if !ok1 || !ok2 {
+		t.Fatalf("fig9 missing placement variants: %+v", s.Points)
+	}
+	// Striping gmake's object stream must actually move bytes onto the
+	// interconnect; whether it helps or hurts is the figure's business.
+	if maxLinkUtil(striped) <= maxLinkUtil(local) {
+		t.Errorf("fig9 striped variant link load (%.3f) not above local PK (%.3f)",
+			maxLinkUtil(striped), maxLinkUtil(local))
+	}
+}
+
+func TestFig10HasStripedPlacementVariant(t *testing.T) {
+	s := ByID("fig10").Run(Options{Quick: true, Seed: 1, Cores: []int{48}})
+	local, ok1 := s.Get("Stock + Procs RR", 48)
+	striped, ok2 := s.Get("Procs RR + striped", 48)
+	if !ok1 || !ok2 {
+		t.Fatalf("fig10 missing placement variants: %+v", s.Points)
+	}
+	if maxLinkUtil(striped) <= maxLinkUtil(local) {
+		t.Errorf("fig10 striped variant link load (%.3f) not above local RR (%.3f)",
+			maxLinkUtil(striped), maxLinkUtil(local))
+	}
+}

@@ -36,10 +36,28 @@ func BenchmarkYieldHandoff(b *testing.B) {
 	e.Run()
 }
 
-// BenchmarkSpawnRunReused measures a whole Spawn+Run cycle of 48 trivial
-// procs on one engine reused via Reset — the sweep arena's steady state,
-// where every Spawn resumes a parked goroutine with one channel send.
+// BenchmarkSpawnRunReused measures a whole SpawnCont+Run cycle of 48
+// trivial continuation procs on one engine reused via Reset — the sweep
+// arena's steady state for non-blocking bodies, where spawn→run→finish
+// costs zero channel operations and zero goroutine switches.
 func BenchmarkSpawnRunReused(b *testing.B) {
+	e := NewPooledEngine(topo.New(48), 1)
+	defer e.Close()
+	body := func(p *Proc) Cont { return p.AdvanceThen(10, nil) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(1)
+		for c := 0; c < 48; c++ {
+			e.SpawnCont(c, "p", 0, body)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkSpawnRunReusedParked is the same cycle on the goroutine path
+// (parked-goroutine reuse, one channel send per resume) — what blocking
+// bodies still pay, and the baseline the continuation path beats.
+func BenchmarkSpawnRunReusedParked(b *testing.B) {
 	e := NewPooledEngine(topo.New(48), 1)
 	defer e.Close()
 	b.ResetTimer()

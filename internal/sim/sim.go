@@ -18,12 +18,24 @@
 // with the same seed. Plain NewEngine keeps the exit-on-done lifecycle,
 // so dropping such an engine leaks nothing even without Close.
 //
+// Procs come in two flavors. A goroutine proc (Spawn) runs an arbitrary
+// body function on its own goroutine and may park anywhere — inside locks,
+// queues, nested subsystem calls — at the cost of a channel rendezvous per
+// scheduling handoff. A continuation proc (SpawnCont) has no goroutine at
+// all: its body is a chain of resumable segments (ContFunc) driven
+// directly off the runnable heap by whichever goroutine is dispatching, so
+// Spawn→run→finish costs zero channel operations. Bodies that can block
+// mid-step on resources or locks stay on the goroutine path; everything
+// else can use continuations. The two flavors schedule identically — a
+// run mixing them is bit-for-bit reproducible, and an engine with
+// continuation scheduling disabled (SetContSched) runs the same
+// continuation bodies on parked goroutines with identical results.
+//
 // Virtual time is measured in CPU cycles of the modeled 2.4 GHz machine
 // (see internal/topo).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -76,6 +88,13 @@ type Proc struct {
 	user, sys int64 // accumulated user/system busy cycles
 
 	body func(*Proc)
+
+	// Continuation procs (SpawnCont) have no goroutine and no resume
+	// channel: cont holds the next segment to run, and the dispatcher
+	// executes it inline. isCont is immutable per slot (goroutine and
+	// continuation slots are pooled separately).
+	cont   ContFunc
+	isCont bool
 }
 
 // Engine owns the virtual clock, the runnable queue, and per-core occupancy.
@@ -118,6 +137,16 @@ type Engine struct {
 	freeProcs []*Proc
 	killAck   chan struct{}
 
+	// freeConts holds retired continuation-proc slots (no goroutine to
+	// park; pooling just recycles the structs). Kept separate from
+	// freeProcs so the two proc flavors never swap slots.
+	freeConts []*Proc
+	// noCont disables continuation scheduling (SetContSched): SpawnCont
+	// bodies run on parked goroutines through the directive interpreter
+	// instead, producing bit-identical traces — the determinism suite
+	// pins the two modes against each other.
+	noCont bool
+
 	userByCore []int64
 	sysByCore  []int64
 }
@@ -125,6 +154,12 @@ type Engine struct {
 // stopMsg is sent by the last active proc to hand control back to Run.
 type stopMsg struct {
 	deadlock bool
+	// pan carries a panic raised inside an inline continuation segment.
+	// The segment may have been dispatched from any proc's goroutine, so
+	// the dispatcher forwards the value here and Run re-raises it — which
+	// keeps model panics recoverable by Run's caller regardless of which
+	// goroutine happened to be scheduling.
+	pan interface{}
 }
 
 type yieldKind int
@@ -188,6 +223,16 @@ func (e *Engine) ResetFor(m *topo.Machine, seed uint64) {
 		if p.state == stateDone {
 			continue // pooled: already in freeProcs; plain: already exited
 		}
+		if p.isCont {
+			// No goroutine to unwind: dropping the pending segment is the
+			// whole kill.
+			p.state = stateDone
+			p.cont = nil
+			if e.pooled {
+				e.freeConts = append(e.freeConts, p)
+			}
+			continue
+		}
 		p.resume <- resumeMsg{kill: true}
 		<-e.killAck
 		p.state = stateDone
@@ -224,6 +269,7 @@ func (e *Engine) Close() {
 		<-e.killAck
 	}
 	e.freeProcs = e.freeProcs[:0]
+	e.freeConts = e.freeConts[:0]
 }
 
 // NumParked returns how many proc goroutines are parked in the free list
@@ -265,12 +311,18 @@ func (e *Engine) Spawn(core int, name string, start int64, body func(*Proc)) *Pr
 		p.body = body
 	} else {
 		p = &Proc{
-			ID:     e.spawned,
-			Name:   name,
-			core:   core,
-			eng:    e,
-			time:   start,
-			resume: make(chan resumeMsg),
+			ID:   e.spawned,
+			Name: name,
+			core: core,
+			eng:  e,
+			time: start,
+			// Buffered: a continuation segment executing inside this
+			// goroutine's own dispatch chain may re-Spawn this very slot
+			// (done → freeProcs → popped by Spawn → enqueued → popped by
+			// the dispatcher) before the goroutine has unwound to its
+			// parking loop. The buffer lets that dispatch complete; the
+			// goroutine picks the message up the moment it parks.
+			resume: make(chan resumeMsg, 1),
 			body:   body,
 		}
 		go p.loop()
@@ -331,7 +383,7 @@ func (e *Engine) enqueue(p *Proc) {
 	e.seq++
 	p.seq = e.seq
 	p.state = stateRunnable
-	heap.Push(&e.runnable, p)
+	e.runnable.push(p)
 }
 
 // Run executes the simulation until every proc has exited. It panics with a
@@ -354,21 +406,51 @@ func (e *Engine) Run() {
 	if e.runnable.Len() == 0 {
 		panic("sim: deadlock: " + e.blockedReport())
 	}
-	next := heap.Pop(&e.runnable).(*Proc)
-	e.now = next.time
-	e.dispatch(next)
-	if st := <-e.stop; st.deadlock {
+	e.next()
+	st := <-e.stop
+	if st.pan != nil {
+		panic(st.pan)
+	}
+	if st.deadlock {
 		panic("sim: deadlock: " + e.blockedReport())
 	}
 }
 
-// dispatch starts or resumes a proc. The caller must have popped it from
-// the runnable heap and set e.now to its time. Whether the proc is parked
-// at its loop top (about to run a new body) or mid-body (returning from a
-// yield), resuming it is the same one channel send.
-func (e *Engine) dispatch(next *Proc) {
-	next.state = stateRunning
-	next.resume <- resumeMsg{t: next.time}
+// next is the dispatch loop shared by Run (bootstrapping) and yieldTo
+// (every later handoff). It pops runnable procs in (time, seq) order;
+// continuation procs execute inline on the calling goroutine (zero channel
+// operations), and the first goroutine-backed proc is resumed with one
+// channel send, after which control belongs to that goroutine. When no
+// proc remains runnable, next signals Run through the stop channel —
+// cleanly if everything exited, as a deadlock otherwise.
+//
+// The popped proc may be the caller's own slot: either the caller yielded
+// ready and won the pop back, or it yielded done and an inline continuation
+// segment re-Spawned its slot. Both cases are just the normal buffered
+// send — the calling goroutine receives it at its next park.
+func (e *Engine) next() {
+	for {
+		if e.live == 0 {
+			e.stop <- stopMsg{}
+			return
+		}
+		if e.runnable.Len() == 0 {
+			e.stop <- stopMsg{deadlock: true}
+			return
+		}
+		p := e.runnable.pop()
+		e.now = p.time
+		if p.isCont {
+			if pv := e.runContCaught(p); pv != nil {
+				e.stop <- stopMsg{pan: pv}
+				return
+			}
+			continue
+		}
+		p.state = stateRunning
+		p.resume <- resumeMsg{t: p.time}
+		return
+	}
 }
 
 // peekMin returns the runnable proc with the smallest (time, seq) key
@@ -432,13 +514,23 @@ func sum(xs []int64) int64 {
 
 // ---- Proc methods (call only from the proc's own goroutine) ----
 
-// yieldTo ends the proc's current dispatch and schedules the next runnable
-// proc on the spot: it updates the engine state the old central loop used
-// to own, pops the next proc, and resumes it with a single channel send.
-// (The zero-channel-ops case — the yielder staying first in dispatch order
-// — is handled before calling here, in Engine.keepRunning: a ready yielder
-// re-enqueues with a fresh, larger seq, so it can never win the pop below.)
+// yieldTo ends the proc's current dispatch and runs the engine's dispatch
+// loop on the spot: continuation procs ahead of the next goroutine proc
+// execute right here, and the handoff to that goroutine proc is a single
+// channel send. (The zero-channel-ops case — the yielder staying first in
+// dispatch order — is handled before calling here, in Engine.keepRunning.)
+// A ready or blocked yielder then parks until its own resume arrives;
+// with the buffered resume channel that message may already be waiting
+// (the yielder won its own pop back inside next).
 func (p *Proc) yieldTo(kind yieldKind) {
+	if p.isCont {
+		// Continuation bodies must express scheduling through directives;
+		// a plain yield-capable call has no goroutine to park.
+		panic(fmt.Sprintf(
+			"sim: continuation proc %s called a yielding method (Advance/Idle/Use/Block); "+
+				"continuation segments must return directives (AdvanceThen, IdleThen, UseThen, BlockThen) instead",
+			p.Name))
+	}
 	e := p.eng
 	switch kind {
 	case yieldReady:
@@ -458,27 +550,10 @@ func (p *Proc) yieldTo(kind yieldKind) {
 			e.freeProcs = append(e.freeProcs, p)
 		}
 	}
-	if e.live == 0 {
-		e.stop <- stopMsg{}
-		return
+	e.next()
+	if kind != yieldDone {
+		p.recv()
 	}
-	if e.runnable.Len() == 0 {
-		// Every remaining proc is blocked; Run reports the deadlock. A
-		// blocked yielder parks until Reset reclaims it (the engine is
-		// about to panic).
-		e.stop <- stopMsg{deadlock: true}
-		if kind != yieldDone {
-			p.recv()
-		}
-		return
-	}
-	next := heap.Pop(&e.runnable).(*Proc)
-	e.now = next.time
-	e.dispatch(next)
-	if kind == yieldDone {
-		return
-	}
-	p.recv()
 }
 
 // recv parks the proc mid-body until the engine resumes it. A kill message
@@ -518,11 +593,25 @@ func (p *Proc) AdvanceUser(cycles int64) {
 }
 
 func (p *Proc) advance(cycles int64, acct *int64) {
+	if !p.chargeCore(cycles, acct) {
+		return
+	}
+	if p.eng.keepRunning(p.time) {
+		return
+	}
+	p.yieldTo(yieldReady)
+}
+
+// chargeCore applies a busy-cycle charge against the proc's core and
+// reports whether the clock moved. Zero-cycle charges are no-ops that skip
+// the yield check entirely — the continuation interpreter mirrors this so
+// both scheduling modes evolve the heap identically.
+func (p *Proc) chargeCore(cycles int64, acct *int64) bool {
 	if cycles < 0 {
 		panic(fmt.Sprintf("sim: negative advance %d by %s", cycles, p.Name))
 	}
 	if cycles == 0 {
-		return
+		return false
 	}
 	free := p.eng.coreFree[p.core]
 	start := p.time
@@ -533,10 +622,7 @@ func (p *Proc) advance(cycles int64, acct *int64) {
 	p.eng.coreFree[p.core] = end
 	p.time = end
 	*acct += cycles
-	if p.eng.keepRunning(end) {
-		return
-	}
-	p.yieldTo(yieldReady)
+	return true
 }
 
 // Idle moves the proc's clock forward without occupying its core (e.g. a
@@ -615,22 +701,59 @@ func (p *Proc) SysTime() int64 { return p.sys }
 
 // ---- heap plumbing ----
 
+// procHeap is a hand-rolled binary min-heap ordered by (time, seq). The
+// (time, seq) key is unique per enqueue, so the pop order — and therefore
+// every trace — is independent of the heap's internal layout; the
+// hand-rolling only removes container/heap's interface-call overhead from
+// the two hottest operations in the engine.
 type procHeap []*Proc
 
 func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
+
+func (h procHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h procHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *procHeap) Push(x interface{}) { *h = append(*h, x.(*Proc)) }
-func (h *procHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return p
+
+func (h *procHeap) push(p *Proc) {
+	*h = append(*h, p)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *procHeap) pop() *Proc {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s.less(r, l) {
+			min = r
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }

@@ -60,6 +60,14 @@ type Options struct {
 	// past it is abandoned and reported in Series.Failed. Zero means the
 	// default (2 minutes).
 	PointTimeout time.Duration
+	// Shards and ShardIndex split the sweep's point grid across
+	// cooperating processes: with Shards > 1, this run computes only the
+	// points whose identity hashes to ShardIndex (0-based) and skips the
+	// rest — no enumeration-order coordination needed. Shard runs should
+	// share a Cache directory; a follow-up run with Shards left at 0 (or
+	// 1) then merges every shard's stored points into a complete Series.
+	// ShardIndex must be in [0, Shards); Run rejects invalid combinations.
+	Shards, ShardIndex int
 }
 
 // CheckFault validates a fault-injection spec without running anything,
@@ -249,6 +257,23 @@ func WriteBenchJSON(path string) ([]BenchResult, error) {
 	return out, nil
 }
 
+// CompareBenchJSON compares the bench report at currentPath against the
+// committed baseline at baselinePath: every metric present in both whose
+// ns/op grew by more than factor is returned as one human-readable
+// regression line. An empty slice means no regression. This is the CI
+// gate behind cmd/mosbench -benchbaseline.
+func CompareBenchJSON(baselinePath, currentPath string, factor float64) ([]string, error) {
+	base, err := harness.ReadBenchReport(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := harness.ReadBenchReport(currentPath)
+	if err != nil {
+		return nil, err
+	}
+	return harness.CompareBenchReports(base, cur, factor), nil
+}
+
 // Experiment describes one runnable paper artifact.
 type Experiment struct {
 	ID    string
@@ -278,6 +303,16 @@ func Run(id string, o Options) (*Series, error) {
 	ho := harness.Options{
 		Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial,
 		Placement: pl, FreshEngines: o.FreshEngines, PointTimeout: o.PointTimeout,
+	}
+	if o.Shards != 0 || o.ShardIndex != 0 {
+		shards := o.Shards
+		if shards == 0 {
+			shards = 1 // unset Shards with an explicit index still validates
+		}
+		if err := harness.ValidateShards(shards, o.ShardIndex); err != nil {
+			return nil, fmt.Errorf("mosbench: %w", err)
+		}
+		ho.Shards, ho.ShardIndex = shards, o.ShardIndex
 	}
 	if o.Fault != "" {
 		spec, err := fault.Parse(o.Fault)

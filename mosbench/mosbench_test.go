@@ -31,6 +31,32 @@ func TestRunUnknown(t *testing.T) {
 	}
 }
 
+func TestRunValidatesShards(t *testing.T) {
+	for _, o := range []Options{
+		{Shards: 2, ShardIndex: 5},
+		{Shards: 2, ShardIndex: -1},
+		{Shards: -3},
+		{ShardIndex: 2}, // index without Shards is out of range for 1 shard
+	} {
+		if _, err := Run("fig5", o); err == nil {
+			t.Errorf("Run with Shards=%d ShardIndex=%d did not error", o.Shards, o.ShardIndex)
+		}
+	}
+	// A valid worker combination runs and yields a partial grid.
+	s, err := Run("fig5", Options{Quick: true, Shards: 2, ShardIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run("fig5", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Point) == 0 || len(s.Point) >= len(full.Point) {
+		t.Errorf("shard 1/2 computed %d of %d points; want a proper nonempty subset",
+			len(s.Point), len(full.Point))
+	}
+}
+
 func TestRunQuickFig5(t *testing.T) {
 	s, err := Run("fig5", Options{Quick: true})
 	if err != nil {
