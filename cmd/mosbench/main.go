@@ -9,6 +9,8 @@
 //	mosbench -experiment fig5 -cores 1,8,48 -csv
 //	mosbench -experiment fig11 -cores 1..48   (the paper's full x-axis)
 //	mosbench -experiment ht -placement striped
+//	mosbench -experiment fig4 -machine ring16   (a non-default host profile)
+//	mosbench -experiment machines -quick        (stock-vs-PK across profiles)
 //	mosbench -experiment degrade -fault "link:3-4@50%,drop:0.01"
 //	mosbench -experiment fig5 -fault "core:7@off,dram:0@50%@t=1ms"
 //	mosbench -all -quick
@@ -55,6 +57,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "deterministic PRNG seed")
 		serial  = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
 		place   = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
+		machine = flag.String("machine", "", "machine profile to simulate (default: the paper's 48-core Tyan S4985); -list shows the registered profiles")
 		faults  = flag.String("fault", "", "deterministic fault-injection spec, e.g. \"link:3-4@50%,drop:0.01\" (events: link:A-B@P%|down, dram:C@P%, core:N@off, drop:P, dup:P; optional @t=<dur> activation)")
 		cache   = flag.String("cache", "", "directory for the on-disk sweep-point cache: repeated grid runs are served without simulating")
 		verbose = flag.Bool("verbose", false, "report per-experiment cache hit/miss/invalidation counters after the run (requires -cache)")
@@ -127,13 +130,17 @@ func main() {
 	if err := mosbench.CheckPlacement(*place); err != nil {
 		fatalUsage(fmt.Sprintf("%v; valid placements: local, striped, remote, home:N (N a chip index)", err))
 	}
-	if err := mosbench.CheckFault(*faults); err != nil {
+	prof, ok := machineProfile(*machine)
+	if !ok {
+		fatalUsage(fmt.Sprintf("unknown machine %q; registered profiles:\n%s", *machine, machineList()))
+	}
+	if err := mosbench.CheckFaultFor(*faults, *machine); err != nil {
 		fatalUsage(fmt.Sprintf("bad -fault spec: %v", err))
 	}
 
-	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place, Fault: *faults}
+	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place, Fault: *faults, Machine: *machine}
 	if *cores != "" {
-		cs, err := parseCores(*cores)
+		cs, err := parseCores(*cores, prof.Cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -166,6 +173,7 @@ func main() {
 			for _, e := range mosbench.Experiments() {
 				fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Paper)
 			}
+			fmt.Printf("\nmachine profiles (-machine <name>):\n%s\n", machineList())
 		case *all:
 			for _, e := range mosbench.Experiments() {
 				if err := runOne(e.ID, o, *csv, &failed); err != nil {
@@ -290,10 +298,34 @@ func experimentList() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// machineProfile resolves -machine ("" = the default profile).
+func machineProfile(name string) (mosbench.MachineProfile, bool) {
+	for _, p := range mosbench.Machines() {
+		if name == p.Name || (name == "" && p.Default) {
+			return p, true
+		}
+	}
+	return mosbench.MachineProfile{}, false
+}
+
+// machineList renders the registered machine profiles, one per line.
+func machineList() string {
+	var b strings.Builder
+	for _, p := range mosbench.Machines() {
+		def := ""
+		if p.Default {
+			def = "  (default)"
+		}
+		fmt.Fprintf(&b, "  %-10s %2d chips, %3d cores%s\n", p.Name, p.Chips, p.Cores, def)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
 // parseCores accepts comma-separated core counts where each element is a
 // single value or a lo..hi range: "1,8,48", "1..48", "1,4..8,48". The
-// full-grid "1..48" form runs the paper's complete x-axis.
-func parseCores(s string) ([]int, error) {
+// full-grid "1..48" form runs the paper's complete x-axis; maxCores is
+// the selected machine profile's core count.
+func parseCores(s string, maxCores int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -301,11 +333,11 @@ func parseCores(s string) ([]int, error) {
 		if i := strings.Index(part, ".."); i >= 0 {
 			lo, hi = part[:i], part[i+2:]
 		}
-		a, err := parseCoreCount(lo)
+		a, err := parseCoreCount(lo, maxCores)
 		if err != nil {
 			return nil, err
 		}
-		b, err := parseCoreCount(hi)
+		b, err := parseCoreCount(hi, maxCores)
 		if err != nil {
 			return nil, err
 		}
@@ -319,13 +351,13 @@ func parseCores(s string) ([]int, error) {
 	return out, nil
 }
 
-func parseCoreCount(s string) (int, error) {
+func parseCoreCount(s string, maxCores int) (int, error) {
 	n, err := strconv.Atoi(strings.TrimSpace(s))
 	if err != nil {
 		return 0, fmt.Errorf("bad core count %q: %v", s, err)
 	}
-	if n < 1 || n > 48 {
-		return 0, fmt.Errorf("core count %d out of range [1,48]", n)
+	if n < 1 || n > maxCores {
+		return 0, fmt.Errorf("core count %d out of range [1,%d]", n, maxCores)
 	}
 	return n, nil
 }

@@ -57,7 +57,7 @@ func RunApache(k *kernel.Kernel, opts ApacheOpts) Result {
 	fs := k.FS
 	var nic *netsim.NIC
 	if opts.UseNIC {
-		nic = netsim.NewNIC(netsim.ApacheNIC(), k.Machine.NCores)
+		nic = netsim.NewNICFor(k.Machine, netsim.ApacheNIC(), k.Machine.NCores)
 	}
 	stack := k.NewStack(nic)
 	fs.MustCreateFile("/var/www/htdocs/index.html", opts.FileBytes)

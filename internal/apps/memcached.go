@@ -42,7 +42,7 @@ func RunMemcached(k *kernel.Kernel, opts MemcachedOpts) Result {
 	e := k.Engine
 	var nic *netsim.NIC
 	if opts.UseNIC {
-		nic = netsim.NewNIC(netsim.MemcachedNIC(), k.Machine.NCores)
+		nic = netsim.NewNICFor(k.Machine, netsim.MemcachedNIC(), k.Machine.NCores)
 	}
 	stack := k.NewStack(nic)
 

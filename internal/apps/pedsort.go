@@ -7,7 +7,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mm"
 	"repro/internal/sim"
-	"repro/internal/topo"
 )
 
 // PedsortMode selects the pedsort parallelization strategy (§5.7).
@@ -145,7 +144,7 @@ func RunPedsort(k *kernel.Kernel, opts PedsortOpts) Result {
 			// active core on the chip; misses turn into user-time stalls.
 			chip := p.Chip()
 			wsOnChip := opts.SortSetBytes * int64(k.Machine.CoresOnChip(chip))
-			miss := mem.MissRatio(wsOnChip, topo.L3Bytes)
+			miss := mem.MissRatio(wsOnChip, k.Machine.L3Bytes)
 			totalMerge := float64(int64(opts.Files)*opts.FileBytes*pedsortSortPerByte) * userTax
 			sortWork := totalMerge / float64(len(workers))
 			sortWork *= 1 + pedsortMissPenalty*miss

@@ -263,18 +263,23 @@ func parseDuration(s string) (float64, error) {
 }
 
 // canonicalize sorts events into the canonical order String renders:
-// by time, then kind, then target. Link ends are normalized so the ring
-// link index is A's.
+// by time, then kind, then target. Link ends of the default ring are
+// normalized so the ring link index is A's; any other pair sorts A < B.
+// Canonicalization is machine-independent — the same spec string keys the
+// sweep cache no matter which machine it later compiles against.
 func (s *Spec) canonicalize() {
 	for i := range s.Events {
 		ev := &s.Events[i]
 		if ev.Kind == KindLink {
-			// Normalize so A is the link's ring index: link l joins chips
-			// l and (l+1) mod Chips. The wrap pair (Chips-1, 0) keeps
-			// A = Chips-1.
+			// Normalize so A is the default ring's link index: link l joins
+			// chips l and (l+1) mod Chips. The wrap pair (Chips-1, 0) keeps
+			// A = Chips-1. Pairs outside the default ring (non-adjacent, or
+			// chips beyond it — valid on other machines) sort ascending.
 			if ev.B == (ev.A+1)%topo.Chips {
 				// already normalized
 			} else if ev.A == (ev.B+1)%topo.Chips {
+				ev.A, ev.B = ev.B, ev.A
+			} else if ev.B < ev.A {
 				ev.A, ev.B = ev.B, ev.A
 			}
 		}
@@ -421,8 +426,12 @@ func (s *Spec) NetProbs() (drop, dup float64) {
 type Plan struct {
 	// Spec is the source specification (canonical).
 	Spec *Spec
-	// Offline marks cores the machine boots with disabled.
-	Offline [topo.MaxCores]bool
+	// Machine is the machine the plan was compiled against.
+	Machine *topo.Machine
+	// Offline marks cores the machine boots with disabled, indexed by
+	// enabled core number. Nil (a nil spec) means every core is online;
+	// use CoreOffline for the bounds-checked lookup.
+	Offline []bool
 	// Boot are the events applied before the workload starts (At == 0),
 	// excluding core events (already folded into Offline).
 	Boot []Event
@@ -443,38 +452,45 @@ type Step struct {
 	Routes *topo.RouteTable
 }
 
-// Compile validates the spec against a machine with nCores enabled cores
-// and returns the executable plan. Errors: a link event naming
-// non-adjacent or out-of-range chips, an out-of-range chip or core, a
-// timed core event, every enabled core offlined, or link deaths that
-// partition the chip ring.
+// Compile validates the spec against the default machine with nCores
+// enabled cores and returns the executable plan.
 func (s *Spec) Compile(nCores int) (*Plan, error) {
-	if nCores < 1 || nCores > topo.MaxCores {
-		return nil, fmt.Errorf("fault: core count %d out of range [1,%d]", nCores, topo.MaxCores)
+	return s.CompileFor(topo.Default(), nCores)
+}
+
+// CompileFor validates the spec against machine m with nCores enabled
+// cores and returns the executable plan. Errors: a link event naming
+// chips not joined by one of m's links, an out-of-range chip or core, a
+// timed core event, every enabled core offlined, or link deaths that
+// partition the interconnect.
+func (s *Spec) CompileFor(m *topo.Machine, nCores int) (*Plan, error) {
+	if nCores < 1 || nCores > m.MaxCores() {
+		return nil, fmt.Errorf("fault: core count %d out of range [1,%d]", nCores, m.MaxCores())
 	}
-	p := &Plan{Spec: s}
+	p := &Plan{Spec: s, Machine: m}
 	if s == nil {
 		return p, nil
 	}
+	p.Offline = make([]bool, nCores)
 	deadAtBoot := map[int]bool{}
 	timed := map[float64][]Event{}
 	online := nCores
 	for _, ev := range s.Events {
 		switch ev.Kind {
 		case KindLink:
-			if _, err := linkIndex(ev.A, ev.B); err != nil {
+			if _, err := linkIndexFor(m, ev.A, ev.B); err != nil {
 				return nil, err
 			}
 		case KindDRAM:
-			if ev.A < 0 || ev.A >= topo.Chips {
-				return nil, fmt.Errorf("fault: dram chip %d out of range [0,%d)", ev.A, topo.Chips)
+			if ev.A < 0 || ev.A >= m.Chips {
+				return nil, fmt.Errorf("fault: dram chip %d out of range [0,%d)", ev.A, m.Chips)
 			}
 			if ev.Frac <= 0 {
 				return nil, fmt.Errorf("fault: dram:%d cannot be throttled to 0", ev.A)
 			}
 		case KindCore:
-			if ev.A < 0 || ev.A >= topo.MaxCores {
-				return nil, fmt.Errorf("fault: core %d out of range [0,%d)", ev.A, topo.MaxCores)
+			if ev.A < 0 || ev.A >= m.MaxCores() {
+				return nil, fmt.Errorf("fault: core %d out of range [0,%d)", ev.A, m.MaxCores())
 			}
 			if ev.At > 0 {
 				return nil, fmt.Errorf("fault: core:%d@off must be a boot-time event (no @t=)", ev.A)
@@ -492,7 +508,7 @@ func (s *Spec) Compile(nCores int) (*Plan, error) {
 		if ev.At == 0 {
 			p.Boot = append(p.Boot, ev)
 			if ev.Kind == KindLink && ev.Frac == 0 {
-				l, _ := linkIndex(ev.A, ev.B)
+				l, _ := linkIndexFor(m, ev.A, ev.B)
 				deadAtBoot[l] = true
 			}
 		} else {
@@ -504,7 +520,7 @@ func (s *Spec) Compile(nCores int) (*Plan, error) {
 	}
 	dead := sortedKeys(deadAtBoot)
 	if len(dead) > 0 {
-		rt, err := topo.NewRouteTable(dead)
+		rt, err := m.NewRouteTable(dead)
 		if err != nil {
 			return nil, err
 		}
@@ -526,7 +542,7 @@ func (s *Spec) Compile(nCores int) (*Plan, error) {
 		changed := false
 		for _, ev := range timed[at] {
 			if ev.Kind == KindLink && ev.Frac == 0 {
-				l, _ := linkIndex(ev.A, ev.B)
+				l, _ := linkIndexFor(m, ev.A, ev.B)
 				if !cumDead[l] {
 					cumDead[l] = true
 					changed = true
@@ -534,7 +550,7 @@ func (s *Spec) Compile(nCores int) (*Plan, error) {
 			}
 		}
 		if changed {
-			rt, err := topo.NewRouteTable(sortedKeys(cumDead))
+			rt, err := m.NewRouteTable(sortedKeys(cumDead))
 			if err != nil {
 				return nil, fmt.Errorf("fault: at t=%gs: %w", at, err)
 			}
@@ -545,28 +561,37 @@ func (s *Spec) Compile(nCores int) (*Plan, error) {
 	return p, nil
 }
 
-// Validate compiles the spec against the full machine, discarding the
-// plan: the cheap early check callers run before sweeping.
+// CoreOffline reports whether the plan boots with enabled core c disabled.
+func (p *Plan) CoreOffline(c int) bool {
+	return p != nil && c >= 0 && c < len(p.Offline) && p.Offline[c]
+}
+
+// Validate compiles the spec against the full default machine, discarding
+// the plan: the cheap early check callers run before sweeping.
 func (s *Spec) Validate() error {
-	_, err := s.Compile(topo.MaxCores)
+	return s.ValidateFor(topo.Default())
+}
+
+// ValidateFor compiles the spec against all of machine m, discarding the
+// plan.
+func (s *Spec) ValidateFor(m *topo.Machine) error {
+	_, err := s.CompileFor(m, m.MaxCores())
 	return err
 }
 
-// LinkIndex returns the ring index of the link joining chips a and b, or
-// an error if they are not ring-adjacent.
-func LinkIndex(a, b int) (int, error) { return linkIndex(a, b) }
+// LinkIndex returns the default ring's index of the link joining chips a
+// and b, or an error if they are not ring-adjacent.
+func LinkIndex(a, b int) (int, error) { return linkIndexFor(topo.Default(), a, b) }
 
-func linkIndex(a, b int) (int, error) {
-	if a < 0 || a >= topo.Chips || b < 0 || b >= topo.Chips {
-		return 0, fmt.Errorf("fault: link chips %d-%d out of range [0,%d)", a, b, topo.Chips)
+func linkIndexFor(m *topo.Machine, a, b int) (int, error) {
+	if a < 0 || a >= m.Chips || b < 0 || b >= m.Chips {
+		return 0, fmt.Errorf("fault: link chips %d-%d out of range [0,%d)", a, b, m.Chips)
 	}
-	if b == (a+1)%topo.Chips {
-		return a, nil
+	l, ok := m.LinkBetween(a, b)
+	if !ok {
+		return 0, fmt.Errorf("fault: chips %d and %d are not joined by a link on machine %s", a, b, m.Name)
 	}
-	if a == (b+1)%topo.Chips {
-		return b, nil
-	}
-	return 0, fmt.Errorf("fault: chips %d and %d are not joined by a link (the ring joins l and l+1 mod %d)", a, b, topo.Chips)
+	return l, nil
 }
 
 func sortedKeys(m map[int]bool) []int {

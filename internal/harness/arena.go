@@ -135,7 +135,7 @@ func (o Options) newKernel(m *topo.Machine, cfg kernel.Config) *kernel.Kernel {
 	if o.Fault == nil || o.Fault.IsZero() {
 		return kernel.NewOnEngine(e, cfg)
 	}
-	plan, err := o.Fault.Compile(m.NCores)
+	plan, err := o.Fault.CompileFor(m, m.NCores)
 	if err != nil {
 		panic(fmt.Sprintf("harness: fault spec %q: %v", o.Fault, err))
 	}

@@ -406,19 +406,37 @@ func (o Options) faultString() string {
 	return o.Fault.String()
 }
 
+// cacheSectionID names the cache section a point belongs to: the bare
+// experiment ID on the default machine (so historical caches stay warm),
+// or "exp@machine" on any other machine — each simulated host is its own
+// cost domain, and points for different hosts never alias.
+func (o Options) cacheSectionID(exp string) string {
+	if m := o.machine(); !m.IsDefault() {
+		return exp + "@" + m.Name
+	}
+	return exp
+}
+
 // cachedPoint returns the cached measurement for (exp, variant, cores)
 // under o, or computes it with f and stores it. With no cache attached it
-// just runs f.
+// just runs f. A point whose watchdog already abandoned it (see
+// runGuarded) is never stored: its slot generation is stale, its result
+// was discarded, and a late store would poison reruns with a value no one
+// validated.
 func (o Options) cachedPoint(exp, variant string, cores int, f func() Point) Point {
 	if o.Cache == nil {
 		return f()
 	}
-	fp := fingerprintFor(exp)
+	sec := o.cacheSectionID(exp)
+	fp := fingerprintFor(sec)
 	key := o.cacheKey(variant, cores)
-	if p, ok := o.Cache.lookup(exp, fp, key); ok {
+	if p, ok := o.Cache.lookup(sec, fp, key); ok {
 		return p
 	}
 	p := f()
-	o.Cache.store(exp, fp, key, p)
+	if o.abandoned != nil && o.abandoned.Load() {
+		return p
+	}
+	o.Cache.store(sec, fp, key, p)
 	return p
 }

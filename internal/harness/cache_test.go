@@ -148,10 +148,12 @@ func TestDomainRetuneInvalidatesOnlyDependents(t *testing.T) {
 // TestEveryCachingExperimentDeclaresDomains keeps registrations honest:
 // an experiment that consults the cache must declare an explicit domain
 // list (the all-domains fallback would silently reintroduce wholesale
-// invalidation for it).
+// invalidation for it). Non-default machines cache under "exp@machine"
+// sections; the registration lookup uses the bare experiment ID.
 func TestEveryCachingExperimentDeclaresDomains(t *testing.T) {
 	for _, id := range cachingExperiments(t, 13) {
-		e := ByID(id)
+		exp, _, _ := strings.Cut(id, "@")
+		e := ByID(exp)
 		if e == nil {
 			t.Errorf("experiment %q cached points but is not registered", id)
 			continue

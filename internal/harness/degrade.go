@@ -13,12 +13,9 @@ import (
 // controller on the I/O hub chip, and 2% client-visible packet loss.
 const DefaultDegradeSpec = "link:0-1@50%,link:4-5@50%,dram:0@50%,drop:0.02"
 
-// degradeCores is the fixed core count the severity sweep runs at (the
-// paper's full machine); quick runs use degradeQuickCores.
-const (
-	degradeCores      = 48
-	degradeQuickCores = 8
-)
+// degradeQuickCores is the reduced core count quick severity sweeps run
+// at; full runs use the whole machine.
+const degradeQuickCores = 8
 
 // degradeSeverities is the fault-scale sweep, in percent of the full spec.
 var (
@@ -44,10 +41,13 @@ func init() {
 // carries the severity percent (the precedent is fig3, whose Cores column
 // carries the application ordinal).
 func runDegrade(o Options) *Series {
-	cores := degradeCores
+	m := o.machine()
+	cores := m.MaxCores()
 	severities := degradeSeverities
 	if o.Quick {
-		cores = degradeQuickCores
+		if degradeQuickCores < cores {
+			cores = degradeQuickCores
+		}
 		severities = degradeQuickSeverities
 	}
 	base := o.Fault
@@ -96,7 +96,7 @@ func runDegrade(o Options) *Series {
 			if !ok {
 				continue
 			}
-			floor := gracefulFloor(base.Scale(float64(sev)/100), cores, healthy.PerCore)
+			floor := gracefulFloor(m, base.Scale(float64(sev)/100), cores, healthy.PerCore)
 			s.Notes = append(s.Notes, fmt.Sprintf(
 				"  %-6s @%3d%%: retention %.2f (graceful floor %.2f), %.3f retries/op",
 				v, sev, p.PerCore/healthy.PerCore, floor, p.Retries))
@@ -117,11 +117,11 @@ const degradePacketsPerOp = 6
 // backoffs of wall clock (doubling on the rare consecutive losses). A
 // system below the floor collapsed — deadlocked, livelocked, or cascading
 // — rather than degraded.
-func gracefulFloor(scaled *fault.Spec, cores int, healthyPerCore float64) float64 {
+func gracefulFloor(m *topo.Machine, scaled *fault.Spec, cores int, healthyPerCore float64) float64 {
 	capLoss := scaled.LossBound(cores)
 	drop, dup := scaled.NetProbs()
 	// Healthy per-op wall cycles on one core, from the measured baseline.
-	opCycles := topo.CyclesPerSec() / healthyPerCore
+	opCycles := m.CyclesPerSec() / healthyPerCore
 	latency := 1 + degradePacketsPerOp*(drop*2*float64(fault.RetryBaseCycles)+dup*float64(fault.RetryBaseCycles)/4)/opCycles
 	return (1 - capLoss) / latency
 }

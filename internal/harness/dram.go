@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
-	"repro/internal/topo"
 )
 
 func init() {
@@ -44,9 +43,9 @@ var placementVariants = []struct {
 // instead of as one monolithic reservation.
 func runPlacementPoint(o Options, pl mem.Placement, cores int, streamBytes int64) Point {
 	const chunks = 8
-	m := topo.New(cores)
+	m := o.topo(cores)
 	e := o.newEngine(m)
-	cs := mem.NewControllers()
+	cs := mem.NewControllersFor(m)
 	for c := 0; c < cores; c++ {
 		e.Spawn(c, fmt.Sprintf("stream-%d", c), 0, func(p *sim.Proc) {
 			for i := 0; i < chunks; i++ {
@@ -58,7 +57,7 @@ func runPlacementPoint(o Options, pl mem.Placement, cores int, streamBytes int64
 	gb := float64(streamBytes) / (1 << 30)
 	return Point{
 		Cores:    cores,
-		PerCore:  gb / topo.CyclesToSec(e.Now()),
+		PerCore:  gb / secsFor(m, e.Now()),
 		DRAMUtil: cs.Utilization(e.Now()),
 		LinkUtil: cs.LinkUtilization(e.Now()),
 	}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/apps"
 	"repro/internal/kernel"
 	"repro/internal/mem"
-	"repro/internal/topo"
 )
 
 // scale reduces an op budget for quick runs.
@@ -42,21 +41,21 @@ func point(r apps.Result, variant string, perCoreScale float64) Point {
 // pooled engine is reused point to point instead of being rebuilt.
 
 func runExim(cfg kernel.Config, cores int, o Options) apps.Result {
-	k := o.newKernel(topo.New(cores), cfg)
+	k := o.newKernel(o.topo(cores), cfg)
 	opts := apps.DefaultEximOpts()
 	opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
 	return RunTagged(apps.RunExim(k, opts))
 }
 
 func runMemcached(cfg kernel.Config, cores int, o Options) apps.Result {
-	k := o.newKernel(topo.New(cores), cfg)
+	k := o.newKernel(o.topo(cores), cfg)
 	opts := apps.DefaultMemcachedOpts()
 	opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
 	return RunTagged(apps.RunMemcached(k, opts))
 }
 
 func runApache(cfg kernel.Config, cores int, single bool, o Options) apps.Result {
-	k := o.newKernel(topo.New(cores), cfg)
+	k := o.newKernel(o.topo(cores), cfg)
 	opts := apps.DefaultApacheOpts()
 	opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
 	opts.SingleInstance = single
@@ -64,7 +63,7 @@ func runApache(cfg kernel.Config, cores int, single bool, o Options) apps.Result
 }
 
 func runPostgres(cfg kernel.Config, cores int, writeFrac float64, mod bool, o Options) apps.Result {
-	k := o.newKernel(topo.New(cores), cfg)
+	k := o.newKernel(o.topo(cores), cfg)
 	opts := apps.DefaultPostgresOpts()
 	opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 	opts.WriteFraction = writeFrac
@@ -74,7 +73,7 @@ func runPostgres(cfg kernel.Config, cores int, writeFrac float64, mod bool, o Op
 }
 
 func runGmake(cfg kernel.Config, cores int, o Options) apps.Result {
-	k := o.newKernel(topo.New(cores), cfg)
+	k := o.newKernel(o.topo(cores), cfg)
 	opts := apps.DefaultGmakeOpts()
 	opts.Objects = scale(opts.Objects, o.Quick)
 	opts.Placement = o.Placement
@@ -82,9 +81,9 @@ func runGmake(cfg kernel.Config, cores int, o Options) apps.Result {
 }
 
 func runPedsort(mode apps.PedsortMode, cores int, o Options) apps.Result {
-	m := topo.New(cores)
+	m := o.topo(cores)
 	if mode == apps.PedsortProcsRR {
-		m = topo.NewRR(cores)
+		m = o.topoRR(cores)
 	}
 	k := o.newKernel(m, kernel.Stock())
 	opts := apps.DefaultPedsortOpts()
@@ -99,7 +98,7 @@ func runMetis(super bool, cores int, o Options) apps.Result {
 	if super {
 		cfg = kernel.PK()
 	}
-	k := o.newKernel(topo.NewRR(cores), cfg)
+	k := o.newKernel(o.topoRR(cores), cfg)
 	opts := apps.DefaultMetisOpts()
 	if o.Quick {
 		opts.InputBytes /= 4
@@ -330,7 +329,9 @@ func runPostgresFig(o Options, id string, writeFrac float64) *Series {
 // runFig3 computes the summary bars: per-core throughput at 48 cores
 // relative to 1 core, stock vs PK, per application.
 func runFig3(o Options) *Series {
-	s := &Series{ID: "fig3", Title: "MOSBENCH summary (Figure 3)", Unit: "ratio 48c/1c"}
+	max := o.maxCores()
+	s := &Series{ID: "fig3", Title: "MOSBENCH summary (Figure 3)",
+		Unit: fmt.Sprintf("ratio %dc/1c", max)}
 	type appRun struct {
 		name  string
 		stock func(cores int, o Options) apps.Result
@@ -367,7 +368,7 @@ func runFig3(o Options) *Series {
 		a := appsList[i/4]
 		cores = 1
 		if i%2 == 1 {
-			cores = 48
+			cores = max
 		}
 		label = a.name + "/Stock"
 		if i%4 >= 2 {
@@ -417,7 +418,9 @@ func runFig3(o Options) *Series {
 // runFig12 classifies the residual 48-core bottleneck per application,
 // pairing the paper's attribution with this reproduction's measurement.
 func runFig12(o Options) *Series {
-	s := &Series{ID: "fig12", Title: "Remaining bottlenecks at 48 cores (Figure 12)"}
+	max := o.maxCores()
+	s := &Series{ID: "fig12",
+		Title: fmt.Sprintf("Remaining bottlenecks at %d cores (Figure 12)", max)}
 	type row struct {
 		app, attribution string
 		run              func(cores int, o Options) apps.Result
@@ -446,7 +449,7 @@ func runFig12(o Options) *Series {
 		r := rows[i/2]
 		cores := 1
 		if i%2 == 1 {
-			cores = 48
+			cores = max
 		}
 		pts[i], errs[i] = wo.safeCachedPoint("fig12", r.app, cores, func(co Options) Point {
 			return point(r.run(cores, co), r.app, 1)
@@ -456,7 +459,7 @@ func runFig12(o Options) *Series {
 		if err != nil && !errors.Is(err, errShardSkipped) {
 			cores := 1
 			if i%2 == 1 {
-				cores = 48
+				cores = max
 			}
 			s.Failed = append(s.Failed, FailedPoint{Variant: rows[i/2].app, Cores: cores, Err: err.Error()})
 		}
@@ -469,7 +472,7 @@ func runFig12(o Options) *Series {
 		}
 		retained := pts[i*2+1].PerCore / pts[i*2].PerCore
 		s.Notes = append(s.Notes,
-			fmt.Sprintf("%-12s %-42s per-core retention at 48c: %.2f", r.app, r.attribution, retained))
+			fmt.Sprintf("%-12s %-42s per-core retention at %dc: %.2f", r.app, r.attribution, max, retained))
 	}
 	return s
 }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/scount"
 	"repro/internal/sim"
-	"repro/internal/topo"
 )
 
 // This file registers the extension experiments: the paper's analysis
@@ -93,13 +92,14 @@ func runScalableLocks(o Options) *Series {
 			return c
 		}()},
 	}
+	max := o.maxCores()
 	for _, v := range variants {
-		k := o.newKernel(topo.New(48), v.cfg)
+		k := o.newKernel(o.topo(max), v.cfg)
 		opts := apps.DefaultEximOpts()
 		opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
 		r := apps.RunExim(k, opts)
 		s.Points = append(s.Points, Point{
-			Cores:      48,
+			Cores:      max,
 			Variant:    v.name,
 			PerCore:    r.PerCore(),
 			UserMicros: r.UserMicrosPerOp(),
@@ -113,21 +113,23 @@ func runScalableLocks(o Options) *Series {
 // under Exim and memcached at 48 cores and report where the cycles went.
 // The top entries should be the very objects Figure 1 names.
 func runProfile(o Options) *Series {
-	s := &Series{ID: "profile", Title: "Stock-kernel contention profile at 48 cores"}
+	max := o.maxCores()
+	s := &Series{ID: "profile",
+		Title: fmt.Sprintf("Stock-kernel contention profile at %d cores", max)}
 
-	kExim := o.newKernel(topo.New(48), kernel.Stock())
+	kExim := o.newKernel(o.topo(max), kernel.Stock())
 	eximOpts := apps.DefaultEximOpts()
 	eximOpts.MessagesPerCore = scale(eximOpts.MessagesPerCore, o.Quick)
 	apps.RunExim(kExim, eximOpts)
-	s.Notes = append(s.Notes, "== Exim on stock, 48 cores ==")
+	s.Notes = append(s.Notes, fmt.Sprintf("== Exim on stock, %d cores ==", max))
 	s.Notes = append(s.Notes, kExim.MD.Prof.Report(6))
 
-	kMC := o.newKernel(topo.New(48), kernel.Stock())
+	kMC := o.newKernel(o.topo(max), kernel.Stock())
 	mcOpts := apps.DefaultMemcachedOpts()
 	mcOpts.RequestsPerCore = scale(mcOpts.RequestsPerCore, o.Quick)
 	mcOpts.UseNIC = false
 	apps.RunMemcached(kMC, mcOpts)
-	s.Notes = append(s.Notes, "== memcached on stock, 48 cores ==")
+	s.Notes = append(s.Notes, fmt.Sprintf("== memcached on stock, %d cores ==", max))
 	s.Notes = append(s.Notes, kMC.MD.Prof.Report(6))
 	return s
 }
@@ -137,20 +139,22 @@ func runProfile(o Options) *Series {
 // central counter; larger thresholds cost space (and reconcile latency)
 // for no additional speed.
 func runSloppyThreshold(o Options) *Series {
-	s := &Series{ID: "sloppy-threshold", Title: "Sloppy counter threshold sweep (48 cores)",
-		Unit: "ops/s/core"}
+	max := o.maxCores()
+	s := &Series{ID: "sloppy-threshold",
+		Title: fmt.Sprintf("Sloppy counter threshold sweep (%d cores)", max),
+		Unit:  "ops/s/core"}
 	churn := scale(400, o.Quick)
 	// Each worker holds several references at once (as a path walk does),
 	// so small thresholds cannot park the whole working set locally and
 	// fall through to the central counter.
 	const batch = 3
 	for _, threshold := range []int64{1, 2, 4, 8, 16, 64} {
-		m := topo.New(48)
+		m := o.topo(max)
 		e := o.newEngine(m)
 		md := mem.NewModel(m)
 		ctr := scount.NewSloppy(md, 0)
 		ctr.Threshold = threshold
-		for c := 0; c < 48; c++ {
+		for c := 0; c < max; c++ {
 			e.Spawn(c, "churn", 0, func(p *sim.Proc) {
 				for i := 0; i < churn; i++ {
 					ctr.Acquire(p, batch)
@@ -160,9 +164,9 @@ func runSloppyThreshold(o Options) *Series {
 			})
 		}
 		e.Run()
-		opsPerSec := float64(48*churn) / topo.CyclesToSec(e.Now()) / 48
+		opsPerSec := float64(max*churn) / secsFor(m, e.Now()) / float64(max)
 		s.Points = append(s.Points, Point{
-			Cores:   48,
+			Cores:   max,
 			Variant: fmt.Sprintf("threshold=%d", threshold),
 			PerCore: opsPerSec,
 		})
@@ -175,16 +179,18 @@ func runSloppyThreshold(o Options) *Series {
 
 // runSpoolDirs sweeps Exim's spool directory count on PK at 48 cores.
 func runSpoolDirs(o Options) *Series {
-	s := &Series{ID: "spool-dirs", Title: "Exim spool directories (PK, 48 cores)",
-		Unit: "msg/s/core"}
+	max := o.maxCores()
+	s := &Series{ID: "spool-dirs",
+		Title: fmt.Sprintf("Exim spool directories (PK, %d cores)", max),
+		Unit:  "msg/s/core"}
 	for _, dirs := range []int{1, 2, 4, 8, 16, 62, 256} {
-		k := o.newKernel(topo.New(48), kernel.PK())
+		k := o.newKernel(o.topo(max), kernel.PK())
 		opts := apps.DefaultEximOpts()
 		opts.MessagesPerCore = scale(opts.MessagesPerCore, o.Quick)
 		opts.SpoolDirs = dirs
 		r := apps.RunExim(k, opts)
 		s.Points = append(s.Points, Point{
-			Cores:      48,
+			Cores:      max,
 			Variant:    fmt.Sprintf("dirs=%d", dirs),
 			PerCore:    r.PerCore(),
 			UserMicros: r.UserMicrosPerOp(),
@@ -198,17 +204,22 @@ func runSpoolDirs(o Options) *Series {
 // kernel with the read/write workload at 32 cores (past the stock peak,
 // before the lseek wall).
 func runLockMgr(o Options) *Series {
-	s := &Series{ID: "lockmgr", Title: "PostgreSQL lock-manager mutexes (stock kernel, r/w, 24 cores)",
-		Unit: "q/s/core"}
+	cores := o.maxCores() / 2
+	if cores < 1 {
+		cores = 1
+	}
+	s := &Series{ID: "lockmgr",
+		Title: fmt.Sprintf("PostgreSQL lock-manager mutexes (stock kernel, r/w, %d cores)", cores),
+		Unit:  "q/s/core"}
 	for _, n := range []int{1, 4, 16, 64, 1024} {
-		k := o.newKernel(topo.New(24), kernel.Stock())
+		k := o.newKernel(o.topo(cores), kernel.Stock())
 		opts := apps.DefaultPostgresOpts()
 		opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 		opts.WriteFraction = 0.05
 		opts.LockMutexes = n
 		r := apps.RunPostgres(k, opts)
 		s.Points = append(s.Points, Point{
-			Cores:      24,
+			Cores:      cores,
 			Variant:    fmt.Sprintf("mutexes=%d", n),
 			PerCore:    r.PerCore(),
 			UserMicros: r.UserMicrosPerOp(),
@@ -225,12 +236,15 @@ func runLockMgr(o Options) *Series {
 // serialization does not mask the steering cost — this isolates what the
 // sampling approach costs short connections (§4.2).
 func runSteering(o Options) *Series {
-	const cores = 8
+	cores := 8
+	if max := o.maxCores(); cores > max {
+		cores = max
+	}
 	s := &Series{ID: "steering",
 		Title: fmt.Sprintf("Flow-director misdirection (sampled steering, %d cores)", cores),
 		Unit:  "req/s/core"}
 	for _, prob := range []float64{0.001, 0.2, 0.4, 0.6, 0.8} {
-		m := topo.New(cores)
+		m := o.topo(cores)
 		cfg := kernel.PK()
 		cfg.ParallelAccept = false // sampled steering, shared backlog
 		k := o.newKernel(m, cfg)
@@ -256,7 +270,7 @@ func runSteering(o Options) *Series {
 			})
 		}
 		k.Engine.Run()
-		tput := float64(cores*reqs) / topo.CyclesToSec(k.Engine.Now()) / float64(cores)
+		tput := float64(cores*reqs) / secsFor(m, k.Engine.Now()) / float64(cores)
 		s.Points = append(s.Points, Point{
 			Cores:   cores,
 			Variant: fmt.Sprintf("misdirect=%.0f%%", prob*100),

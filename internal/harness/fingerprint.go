@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/fault"
@@ -87,18 +88,45 @@ func checkDomains(id string, domains []string) {
 }
 
 // fingerprintFor returns the combined cost-model fingerprint for the
-// experiment with the given ID: a canonical digest of its declared
-// domains' fingerprints. An experiment that declares no domains (or an
-// unknown ID) combines every domain, so any retune invalidates it — the
-// conservative fallback, equivalent to the old global cache version.
+// cache section with the given ID: a canonical digest of the experiment's
+// declared domains' fingerprints. An experiment that declares no domains
+// (or an unknown ID) combines every domain, so any retune invalidates it —
+// the conservative fallback, equivalent to the old global cache version.
+//
+// A section ID may carry an "@machine" suffix (see cacheSectionID): the
+// machine-dependent domains ("topo", "mem") are then taken from that
+// machine's description instead of the default's, and the machine name is
+// folded in, so every simulated host is its own cacheable cost domain.
+// Default-machine sections have no suffix and hash exactly as before —
+// the warm cache survives the machine parameterization.
 func fingerprintFor(id string) string {
+	exp, machineName, _ := strings.Cut(id, "@")
 	domains := allCostDomains()
-	if e := ByID(id); e != nil && len(e.Domains) > 0 {
+	if e := ByID(exp); e != nil && len(e.Domains) > 0 {
 		domains = e.Domains
+	}
+	var m *topo.Machine
+	if machineName != "" {
+		// An unregistered name (a profile removed between runs) keeps the
+		// default fingerprints; the machine-name term below still keeps the
+		// section distinct from every other machine's.
+		m, _ = topo.Lookup(machineName)
 	}
 	f := fprint.New("experiment")
 	for _, d := range domains {
-		f.C(d, costDomains[d])
+		fp := costDomains[d]
+		if m != nil {
+			switch d {
+			case "topo":
+				fp = m.Fingerprint()
+			case "mem":
+				fp = mem.FingerprintFor(m)
+			}
+		}
+		f.C(d, fp)
+	}
+	if machineName != "" {
+		f.C("machine", machineName)
 	}
 	return f.Sum()
 }

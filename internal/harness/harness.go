@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/topo"
 )
 
 // Point is one measurement: an application variant at one core count.
@@ -81,7 +82,14 @@ func (s *Series) Get(variant string, cores int) (Point, bool) {
 
 // Options controls an experiment run.
 type Options struct {
-	// Cores is the sweep; nil uses the experiment's default.
+	// Machine is the simulated host every kernel this run boots: its chip
+	// count, per-chip cores, latencies, rates, and link graph. Nil means
+	// the default machine (the paper's 48-core Tyan S4985). Non-default
+	// machines get their own sweep-point cache sections (see
+	// cacheSectionID), so results for different hosts never alias.
+	Machine *topo.Machine
+	// Cores is the sweep; nil uses the experiment's default, scaled to the
+	// machine.
 	Cores []int
 	// Seed is the deterministic PRNG seed.
 	Seed uint64
@@ -132,6 +140,10 @@ type Options struct {
 	// TestContSchedDeterminism); the knob exists for that comparison.
 	NoContSched bool
 
+	// abandoned is set by runGuarded's watchdog when it gives up on this
+	// point; the flag tells a later-unwedged point body that its result
+	// must not reach the shared cache. Nil outside runGuarded.
+	abandoned *atomic.Bool
 	// slot is the calling sweep worker's pooled engine, set by
 	// parallelMap; nil outside a sweep (fresh engines are used then).
 	slot *engineSlot
@@ -141,20 +153,103 @@ type Options struct {
 	slotGen uint64
 }
 
-// DefaultCores is the standard sweep, a subset of the paper's x-axis.
+// DefaultCores is the standard sweep on the default machine, a subset of
+// the paper's x-axis.
 var DefaultCores = []int{1, 2, 4, 8, 16, 24, 32, 40, 48}
 
-// QuickCores is the abbreviated sweep used by Quick runs.
+// QuickCores is the abbreviated sweep used by Quick runs on the default
+// machine.
 var QuickCores = []int{1, 8, 48}
 
 func (o Options) cores() []int {
 	if len(o.Cores) > 0 {
 		return o.Cores
 	}
-	if o.Quick {
-		return QuickCores
+	m := o.machine()
+	if m.IsDefault() {
+		if o.Quick {
+			return QuickCores
+		}
+		return DefaultCores
 	}
-	return DefaultCores
+	if o.Quick {
+		return quickCoresFor(m.MaxCores())
+	}
+	return defaultCoresFor(m.MaxCores())
+}
+
+// defaultCoresFor builds a machine's standard sweep: the small powers of
+// two, then six evenly spaced steps up to the full machine — the shape of
+// DefaultCores generalized (it reproduces [1 2 4 8 16 24 32 40 48] for a
+// 48-core machine).
+func defaultCoresFor(max int) []int {
+	step := max / 6
+	if step < 1 {
+		step = 1
+	}
+	seen := map[int]bool{}
+	var out []int
+	add := func(c int) {
+		if c >= 1 && c <= max && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range []int{1, 2, 4, 8} {
+		add(c)
+	}
+	for k := 1; k <= 6; k++ {
+		add(k * step)
+	}
+	add(max)
+	sort.Ints(out)
+	return out
+}
+
+// quickCoresFor is the abbreviated three-point sweep for a machine:
+// one core, an intermediate count, and the full machine.
+func quickCoresFor(max int) []int {
+	mid := max / 6
+	if mid < 2 {
+		mid = (max + 1) / 2
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range []int{1, mid, max} {
+		if c >= 1 && c <= max && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// machine returns the run's simulated host (the default when unset).
+func (o Options) machine() *topo.Machine {
+	if o.Machine != nil {
+		return o.Machine
+	}
+	return topo.Default()
+}
+
+// topo returns the run's machine with n cores enabled (sequential fill).
+func (o Options) topo(n int) *topo.Machine { return o.machine().WithCores(n) }
+
+// topoRR returns the run's machine with n cores enabled, round-robin.
+func (o Options) topoRR(n int) *topo.Machine { return o.machine().WithCoresRR(n) }
+
+// maxCores is the run's full-machine core count (48 on the default).
+func (o Options) maxCores() int { return o.machine().MaxCores() }
+
+// secsFor converts engine cycles to seconds at m's clock.
+func secsFor(m *topo.Machine, cycles int64) float64 {
+	return float64(cycles) / m.CyclesPerSec()
+}
+
+// microsFor converts engine cycles to microseconds at m's clock.
+func microsFor(m *topo.Machine, cycles int64) float64 {
+	return float64(cycles) * 1e6 / m.CyclesPerSec()
 }
 
 func (o Options) seed() uint64 {

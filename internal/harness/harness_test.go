@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "tbl-hw", "dma", "nic-env", "ablate",
 		"profile", "sloppy-threshold", "spool-dirs", "lockmgr", "steering",
-		"scalable-locks", "scount", "dram", "ht", "degrade",
+		"scalable-locks", "scount", "dram", "ht", "degrade", "machines",
 	}
 	for _, id := range want {
 		if ByID(id) == nil {

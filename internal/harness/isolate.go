@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,9 +50,14 @@ var testPointHook func(exp, variant string, cores, attempt int)
 // runGuarded executes f on a child goroutine with a recover guard and a
 // wall-clock watchdog. A panic becomes an error; a watchdog expiry
 // abandons the child (it may be wedged forever inside the engine), disowns
-// the worker's pooled engine slot, and returns pointTimeoutError.
+// the worker's pooled engine slot, and returns pointTimeoutError. The
+// abandoned flag handed to the child makes a later unwedge harmless: the
+// child sees it and keeps its result out of the shared cache (a wedged
+// simulation that eventually finishes computed under an engine the worker
+// already moved off of, and its point was already reported failed).
 func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Options) Point) (Point, error) {
 	co := o
+	co.abandoned = new(atomic.Bool)
 	if co.slot != nil {
 		co.slotGen = co.slot.generation()
 	}
@@ -77,6 +83,7 @@ func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Op
 	case out := <-ch:
 		return out.p, out.err
 	case <-timer.C:
+		co.abandoned.Store(true)
 		if co.slot != nil {
 			co.slot.abandon()
 		}
@@ -91,7 +98,7 @@ func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Op
 // error instead of a Point. One crashing point therefore costs exactly
 // that point; the rest of the sweep completes.
 func (o Options) safeCachedPoint(exp, variant string, cores int, f func(o Options) Point) (Point, error) {
-	if !o.shardOwns(exp, o.cacheKey(variant, cores)) {
+	if !o.shardOwns(o.cacheSectionID(exp), o.cacheKey(variant, cores)) {
 		return Point{}, errShardSkipped
 	}
 	body := func(co Options) Point {

@@ -74,6 +74,49 @@ func TestPersistentPanicFailsExactlyOnePoint(t *testing.T) {
 	}
 }
 
+// TestAbandonedPointStaysOutOfCache is the regression guard for the late
+// cache store: a point the watchdog abandoned may unwedge and finish long
+// after its sweep moved on, and its result must not reach the shared
+// cache — the point was already reported failed, and a rerun must
+// re-simulate it rather than replay a value nobody validated.
+func TestAbandonedPointStaysOutOfCache(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	var simsAt8 atomic.Int64
+	release := make(chan struct{})
+	runs := []variantRun{{"V", func(cores int, o Options) Point {
+		if cores == 8 {
+			simsAt8.Add(1)
+			<-release // wedge until the test unblocks us (closed after run 1)
+		}
+		return Point{Cores: cores, Variant: "V", PerCore: float64(cores)}
+	}}}
+	o := Options{Cores: []int{1, 8}, Seed: 1, PointTimeout: 100 * time.Millisecond, Cache: c}
+	s := &Series{ID: "iso-test"}
+	o.runGrid(s, runs)
+	if len(s.Failed) != 1 || !strings.Contains(s.Failed[0].Err, "timed out") {
+		t.Fatalf("failed points = %+v, want the wedged point timed out", s.Failed)
+	}
+	// Unwedge the abandoned child and give it ample time to finish — and,
+	// pre-fix, to land its late store.
+	close(release)
+	time.Sleep(500 * time.Millisecond)
+	if got := c.Len(); got != 1 {
+		t.Fatalf("cache holds %d points after the abandoned point finished, want only cores=1", got)
+	}
+	// A rerun must re-simulate the abandoned point, not replay it.
+	s2 := &Series{ID: "iso-test"}
+	o.runGrid(s2, runs)
+	if got := simsAt8.Load(); got != 2 {
+		t.Errorf("cores=8 simulated %d times across both runs, want 2 (the rerun must not be served from cache)", got)
+	}
+	if len(s2.Points) != 2 || len(s2.Failed) != 0 {
+		t.Errorf("rerun produced %d points, %d failures; want 2 and 0", len(s2.Points), len(s2.Failed))
+	}
+}
+
 func TestWedgedPointHitsWatchdogWithoutRetry(t *testing.T) {
 	defer func() { testPointHook = nil }()
 	var wedgeAttempts atomic.Int64

@@ -8,7 +8,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/scount"
 	"repro/internal/sim"
-	"repro/internal/topo"
 )
 
 func init() {
@@ -65,22 +64,31 @@ func init() {
 // style probes and prints them next to the paper's numbers.
 func runHWLatencies(o Options) *Series {
 	s := &Series{ID: "tbl-hw", Title: "Memory latencies (§5.1)", Unit: "cycles"}
-	m := topo.New(48)
+	m := o.topo(o.maxCores())
 	md := mem.NewModel(m)
 	e := o.newEngine(m)
 
+	// The far probe reads from the chip at the machine's diameter (chip 4
+	// on the default ring); the sharer sits on the prober's chip.
+	farChip := 0
+	for chip := 1; chip < m.Chips; chip++ {
+		if m.HopDistance(0, chip) == m.MaxHops() {
+			farChip = chip
+			break
+		}
+	}
 	var l1, l3, dramLocal, dramFar, remoteDirty int64
 	lineLocal := md.Alloc(0)
-	lineFar := md.Alloc(4)
+	lineFar := md.Alloc(farChip)
 	lineShared := md.Alloc(0)
 	lineDirty := md.Alloc(0)
 
 	// The probes never block mid-step, so they run as continuation procs:
 	// each segment performs one coherence access and charges its latency.
-	e.SpawnCont(5, "warm-sharer", 0, func(p *sim.Proc) sim.Cont {
+	e.SpawnCont(m.CoresPerChip-1, "warm-sharer", 0, func(p *sim.Proc) sim.Cont {
 		return p.AdvanceThen(md.Read(p.Core(), lineShared, p.Now()), nil)
 	})
-	e.SpawnCont(47, "dirtier", 0, func(p *sim.Proc) sim.Cont {
+	e.SpawnCont(m.NCores-1, "dirtier", 0, func(p *sim.Proc) sim.Cont {
 		return p.AdvanceThen(md.Write(p.Core(), lineDirty, p.Now()), nil)
 	})
 	probes := []func(p *sim.Proc) int64{
@@ -106,7 +114,7 @@ func runHWLatencies(o Options) *Series {
 		s.Notes = append(s.Notes, fmt.Sprintf("%-28s measured %4d cycles   paper %s", name, measured, paper))
 	}
 	add("L1 hit", l1, "3")
-	add("L2 hit (model constant)", topo.LatL2, "14")
+	add("L2 hit (model constant)", m.LatL2, "14")
 	add("shared L3 hit (same chip)", l3, "28")
 	add("local DRAM", dramLocal, "122")
 	add("farthest DRAM", dramFar, "503")
@@ -120,7 +128,7 @@ func runHWLatencies(o Options) *Series {
 // counter.
 func runSloppyTrace(o Options) *Series {
 	s := &Series{ID: "fig2", Title: "Sloppy counter trace (Figure 2)"}
-	m := topo.New(2)
+	m := o.topo(2)
 	md := mem.NewModel(m)
 	e := o.newEngine(m)
 	ctr := scount.NewSloppy(md, 0)
@@ -153,10 +161,11 @@ func runSloppyTrace(o Options) *Series {
 // the PK kernel at 48 cores, the §5.3 experiment (~30% improvement).
 func runDMAAblation(o Options) *Series {
 	s := &Series{ID: "dma", Title: "DMA buffer allocation (§5.3)", Unit: "req/s/core"}
+	max := o.maxCores()
 	run := func(local bool, o Options) apps.Result {
 		cfg := kernel.PK()
 		cfg.LocalDMABuf = local
-		k := o.newKernel(topo.New(48), cfg)
+		k := o.newKernel(o.topo(max), cfg)
 		opts := apps.DefaultMemcachedOpts()
 		opts.RequestsPerCore = scale(opts.RequestsPerCore, o.Quick)
 		// Keep the card in the loop, as the paper's measurement did; the
@@ -166,14 +175,14 @@ func runDMAAblation(o Options) *Series {
 	labels := []string{"node-0 pool", "local pools"}
 	pts := make([]Point, 2)
 	o.parallelMap(2, func(i int, wo Options) {
-		pts[i] = wo.cachedPoint("dma", labels[i], 48, func() Point {
+		pts[i] = wo.cachedPoint("dma", labels[i], max, func() Point {
 			return point(run(i == 1, wo), labels[i], 1)
 		})
 	})
 	s.Points = append(s.Points, pts...)
 	s.Notes = append(s.Notes, fmt.Sprintf(
-		"local-node allocation improves 48-core throughput by %.0f%% (paper: ~30%%)",
-		(pts[1].PerCore/pts[0].PerCore-1)*100))
+		"local-node allocation improves %d-core throughput by %.0f%% (paper: ~30%%)",
+		max, (pts[1].PerCore/pts[0].PerCore-1)*100))
 	return s
 }
 
@@ -200,7 +209,7 @@ func runScountSweep(o Options) *Series {
 	s := &Series{ID: "scount", Title: "Reference counter scalability (§4.3)", Unit: "pairs/ms/core"}
 	pairs := scale(400, o.Quick)
 	runPoint := func(variant string, cores int, o Options, mk func(md *mem.Model) scount.Counter) Point {
-		m := topo.New(cores)
+		m := o.topo(cores)
 		md := mem.NewModel(m)
 		e := o.newEngine(m)
 		ctr := mk(md)
@@ -214,13 +223,13 @@ func runScountSweep(o Options) *Series {
 			})
 		}
 		e.Run()
-		ms := topo.CyclesToMicros(e.Now()) / 1e3
+		ms := microsFor(m, e.Now()) / 1e3
 		return Point{
 			Cores:      cores,
 			Variant:    variant,
 			PerCore:    float64(pairs) / ms,
-			UserMicros: topo.CyclesToMicros(e.TotalUserCycles()) / float64(pairs*cores),
-			SysMicros:  topo.CyclesToMicros(e.TotalSysCycles()) / float64(pairs*cores),
+			UserMicros: microsFor(m, e.TotalUserCycles()) / float64(pairs*cores),
+			SysMicros:  microsFor(m, e.TotalSysCycles()) / float64(pairs*cores),
 		}
 	}
 	o.runGrid(s, []variantRun{
@@ -240,24 +249,25 @@ func runScountSweep(o Options) *Series {
 // the fix's most affected application at 48 cores, reporting the gain over
 // stock — the evidence that each modeled fix does something.
 func runAblations(o Options) *Series {
-	s := &Series{ID: "ablate", Title: "Per-fix ablations at 48 cores (Figure 1)"}
+	max := o.maxCores()
+	s := &Series{ID: "ablate", Title: fmt.Sprintf("Per-fix ablations at %d cores (Figure 1)", max)}
 
 	// runFor picks the app used to measure a fix.
 	runFor := func(name string, cfg kernel.Config, o Options) float64 {
 		switch name {
 		case "parallel-accept":
-			return runApache(cfg, 48, cfg.ParallelAccept, o).PerCore()
+			return runApache(cfg, max, cfg.ParallelAccept, o).PerCore()
 		case "dst-ref", "proto-mem", "dma-buffers", "netdev-false-sharing",
 			"inode-lists", "dcache-lists":
-			return runMemcached(cfg, 48, o).PerCore()
+			return runMemcached(cfg, max, o).PerCore()
 		case "lseek-mutex":
-			k := o.newKernel(topo.New(48), cfg)
+			k := o.newKernel(o.topo(max), cfg)
 			opts := apps.DefaultPostgresOpts()
 			opts.QueriesPerCore = scale(opts.QueriesPerCore, o.Quick)
 			opts.ModPG = true
 			return apps.RunPostgres(k, opts).PerCore()
 		case "superpage-locking", "superpage-zeroing":
-			k := o.newKernel(topo.NewRR(48), cfg)
+			k := o.newKernel(o.topoRR(max), cfg)
 			opts := apps.DefaultMetisOpts()
 			if o.Quick {
 				opts.InputBytes /= 4
@@ -265,9 +275,9 @@ func runAblations(o Options) *Series {
 			opts.SuperPages = true
 			return apps.RunMetis(k, opts).PerCore() * 3600
 		case "page-false-sharing":
-			return runExim(cfg, 48, o).PerCore()
+			return runExim(cfg, max, o).PerCore()
 		default: // VFS fixes: Exim is the heaviest path-walk user
-			return runExim(cfg, 48, o).PerCore()
+			return runExim(cfg, max, o).PerCore()
 		}
 	}
 
@@ -282,8 +292,8 @@ func runAblations(o Options) *Series {
 			label = f.Name + "/fix"
 			f.Enable(&cfg)
 		}
-		pts[i] = wo.cachedPoint("ablate", label, 48, func() Point {
-			return Point{Cores: 48, Variant: label, PerCore: runFor(f.Name, cfg, wo)}
+		pts[i] = wo.cachedPoint("ablate", label, max, func() Point {
+			return Point{Cores: max, Variant: label, PerCore: runFor(f.Name, cfg, wo)}
 		})
 	})
 	for i, f := range kernel.Fixes {

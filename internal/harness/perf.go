@@ -184,15 +184,28 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 
 // CompareBenchReports checks current against baseline: any metric present
 // in both whose ns/op grew by more than factor is reported as a
-// regression, one human-readable line each. Metrics present in only one
-// report are ignored — the suite grows over time, and dropping a metric
-// is a review-visible change to the committed baseline, not a perf event.
+// regression, one human-readable line each. A baseline metric missing
+// from the current report is also reported — a renamed or deleted
+// benchmark would otherwise silently vanish from the gate, which is
+// exactly how a regression hides; retiring a metric legitimately means
+// updating the committed baseline in the same change. Metrics new in the
+// current report are ignored (the suite grows over time; they enter the
+// gate when the baseline is refreshed).
 func CompareBenchReports(baseline, current *BenchReport, factor float64) []string {
+	cur := make(map[string]bool, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = true
+	}
 	base := make(map[string]float64, len(baseline.Results))
+	var regressions []string
 	for _, r := range baseline.Results {
 		base[r.Name] = r.NsPerOp
+		if !cur[r.Name] {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: present in baseline but missing from current report (rename/delete must update the baseline)",
+				r.Name))
+		}
 	}
-	var regressions []string
 	for _, r := range current.Results {
 		b, ok := base[r.Name]
 		if !ok || b <= 0 {

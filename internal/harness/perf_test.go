@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareBenchReportsMissingBaselineMetric is the regression guard for
+// the bench gate's blind spot: a metric present in the committed baseline
+// but absent from the fresh report must be reported, or a renamed/deleted
+// benchmark silently drops out of the >factor regression gate.
+func TestCompareBenchReportsMissingBaselineMetric(t *testing.T) {
+	base := &BenchReport{Schema: benchReportSchema, Results: []BenchResult{
+		{Name: "kept", NsPerOp: 100, Ops: 1},
+		{Name: "removed", NsPerOp: 50, Ops: 1},
+	}}
+	cur := &BenchReport{Schema: benchReportSchema, Results: []BenchResult{
+		{Name: "kept", NsPerOp: 120, Ops: 1},
+		{Name: "brand_new", NsPerOp: 1, Ops: 1}, // new metrics are not gated
+	}}
+	regs := CompareBenchReports(base, cur, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the missing-metric line", regs)
+	}
+	if !strings.Contains(regs[0], "removed") || !strings.Contains(regs[0], "missing") {
+		t.Errorf("missing-metric line %q should name the metric and say it is missing", regs[0])
+	}
+
+	// The growth gate still fires alongside the missing-metric report.
+	cur.Results[0].NsPerOp = 300
+	regs = CompareBenchReports(base, cur, 2.0)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want the missing metric plus the 3x growth", regs)
+	}
+
+	// A report compared against itself is clean.
+	if regs := CompareBenchReports(base, base, 2.0); len(regs) != 0 {
+		t.Errorf("self-comparison reports regressions: %v", regs)
+	}
+}

@@ -186,7 +186,7 @@ func NewOnEngineFaults(e *sim.Engine, cfg Config, plan *fault.Plan) *Kernel {
 		Alloc:     alloc,
 		FS:        vfs.New(md, alloc, cfg.VFS()),
 		Pages:     mm.NewPageStructs(md, pageStructSample, cfg.PageFalseSharingFix),
-		DRAM:      mem.NewControllers(),
+		DRAM:      mem.NewControllersFor(m),
 		Faults:    plan,
 		NetFaults: &fault.NetFaults{},
 	}
@@ -203,7 +203,7 @@ func (k *Kernel) applyBootFaults(plan *fault.Plan) {
 	n := k.Machine.NCores
 	offline := 0
 	for c := 0; c < n; c++ {
-		if plan.Offline[c] {
+		if plan.CoreOffline(c) {
 			if k.online == nil {
 				k.online = make([]bool, n)
 				for i := range k.online {
@@ -259,9 +259,9 @@ func (k *Kernel) applyFaultEvents(evs []fault.Event) {
 		switch ev.Kind {
 		case fault.KindLink:
 			if ev.Frac > 0 {
-				l, err := fault.LinkIndex(ev.A, ev.B)
-				if err != nil {
-					panic(err) // compile validated; unreachable
+				l, ok := k.Machine.LinkBetween(ev.A, ev.B)
+				if !ok {
+					panic(fmt.Sprintf("kernel: no link %d-%d on %s", ev.A, ev.B, k.Machine.Name)) // compile validated; unreachable
 				}
 				k.DRAM.ScaleLink(l, ev.Frac)
 			}

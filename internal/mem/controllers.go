@@ -17,8 +17,8 @@ type rated struct {
 	bytesRequested int64
 }
 
-func newRated(name string, bytesPerSec float64) rated {
-	bpc := bytesPerSec / topo.CyclesPerSec()
+func newRated(name string, bytesPerSec, cyclesPerSec float64) rated {
+	bpc := bytesPerSec / cyclesPerSec
 	return rated{
 		res:           sim.NewResource(name),
 		bytesPerCycle: bpc,
@@ -77,9 +77,9 @@ type Controller struct {
 	chip int
 }
 
-func newController(chip int, bytesPerSec float64) *Controller {
+func newController(chip int, bytesPerSec, cyclesPerSec float64) *Controller {
 	return &Controller{
-		rated: newRated(fmt.Sprintf("dram-chip%d", chip), bytesPerSec),
+		rated: newRated(fmt.Sprintf("dram-chip%d", chip), bytesPerSec, cyclesPerSec),
 		chip:  chip,
 	}
 }
@@ -97,9 +97,9 @@ type Link struct {
 	id int
 }
 
-func newLink(id int, bytesPerSec float64) *Link {
+func newLink(id int, bytesPerSec, cyclesPerSec float64) *Link {
 	return &Link{
-		rated: newRated(fmt.Sprintf("ht-link%d", id), bytesPerSec),
+		rated: newRated(fmt.Sprintf("ht-link%d", id), bytesPerSec, cyclesPerSec),
 		id:    id,
 	}
 }
@@ -113,12 +113,14 @@ func (ln *Link) ID() int { return ln.id }
 // queue on every link of their route and additionally pay the
 // HyperTransport hop latency.
 type Controllers struct {
+	mach  *topo.Machine
 	chips []*Controller
 	links []*Link
 	// routes is the active chip-to-chip routing. The default table is the
-	// healthy ring; fault injection swaps in a table that routes around
-	// dead links (SetRoutes), and every transfer — CPU and DMA — follows
-	// it, paying the longer detour's queueing and hop latency.
+	// machine's healthy link graph; fault injection swaps in a table that
+	// routes around dead links (SetRoutes), and every transfer — CPU and
+	// DMA — follows it, paying the longer detour's queueing and hop
+	// latency.
 	routes *topo.RouteTable
 }
 
@@ -126,28 +128,46 @@ type Controllers struct {
 // controllers, each with a 1/8 share of the measured 51.5 GB/s aggregate,
 // joined by eight HT links at topo.HTLinkBytesPerSec each.
 func NewControllers() *Controllers {
-	return NewControllersRate(topo.DRAMMaxBytesPerSec)
+	return NewControllersFor(topo.Default())
 }
 
-// NewControllersRate builds per-chip controllers splitting the given
-// aggregate rate (bytes/second) evenly across chips (tests use small
-// rates). Link rates scale with the controller share so the
-// link:controller bandwidth ratio matches the real machine's.
+// NewControllersFor returns the given machine's memory system: one
+// controller per chip splitting the machine's aggregate DRAM rate, joined
+// by the machine's link graph at its per-link rates.
+func NewControllersFor(m *topo.Machine) *Controllers {
+	return NewControllersRateFor(m, m.DRAMMaxBytesPerSec)
+}
+
+// NewControllersRate is NewControllersRateFor on the default machine
+// (tests use small rates).
 func NewControllersRate(aggregateBytesPerSec float64) *Controllers {
+	return NewControllersRateFor(topo.Default(), aggregateBytesPerSec)
+}
+
+// NewControllersRateFor builds per-chip controllers splitting the given
+// aggregate rate (bytes/second) evenly across the machine's chips. Link
+// rates scale with the controller share so each link:controller bandwidth
+// ratio matches the machine description's.
+func NewControllersRateFor(m *topo.Machine, aggregateBytesPerSec float64) *Controllers {
 	cs := &Controllers{
-		chips:  make([]*Controller, topo.Chips),
-		links:  make([]*Link, topo.NumLinks),
-		routes: topo.DefaultRouteTable(),
+		mach:   m,
+		chips:  make([]*Controller, m.Chips),
+		links:  make([]*Link, m.NumLinks()),
+		routes: m.DefaultRoutes(),
 	}
-	linkScale := topo.HTLinkBytesPerSec / topo.DRAMMaxBytesPerSec
+	cps := m.CyclesPerSec()
 	for i := range cs.chips {
-		cs.chips[i] = newController(i, aggregateBytesPerSec/topo.Chips)
+		cs.chips[i] = newController(i, aggregateBytesPerSec/float64(m.Chips), cps)
 	}
 	for i := range cs.links {
-		cs.links[i] = newLink(i, aggregateBytesPerSec*linkScale)
+		linkScale := m.LinkRate(i) / m.DRAMMaxBytesPerSec
+		cs.links[i] = newLink(i, aggregateBytesPerSec*linkScale, cps)
 	}
 	return cs
 }
+
+// Machine returns the machine whose memory system this is.
+func (cs *Controllers) Machine() *topo.Machine { return cs.mach }
 
 // Link returns the HT link with the given topo ring index.
 func (cs *Controllers) Link(i int) *Link {
@@ -171,7 +191,7 @@ func (cs *Controllers) Chip(i int) *Controller {
 // after the swap follows the new table.
 func (cs *Controllers) SetRoutes(rt *topo.RouteTable) {
 	if rt == nil {
-		rt = topo.DefaultRouteTable()
+		rt = cs.mach.DefaultRoutes()
 	}
 	cs.routes = rt
 }
@@ -216,7 +236,7 @@ func (cs *Controllers) Transfer(p *sim.Proc, home int, n int64) {
 	// Hop latency follows the active route's length: a rerouted detour
 	// around a dead link costs its real distance, not the healthy ring's.
 	if hops := cs.routes.Hops(me, home); hops > 0 {
-		p.Idle(topo.HTLatency(hops))
+		p.Idle(cs.mach.HTLatency(hops))
 	}
 }
 
@@ -231,7 +251,7 @@ func (cs *Controllers) DMAWrite(p *sim.Proc, home int, n int64) {
 	if n <= 0 {
 		return
 	}
-	cs.transferVia(p, topo.IOHubChip, home, n)
+	cs.transferVia(p, cs.mach.IOHubChip, home, n)
 }
 
 // DMARead charges the bandwidth of a device reading n bytes out of the
@@ -245,7 +265,7 @@ func (cs *Controllers) DMARead(p *sim.Proc, home int, n int64) {
 	if n <= 0 {
 		return
 	}
-	for _, l := range cs.routes.Route(home, topo.IOHubChip) {
+	for _, l := range cs.routes.Route(home, cs.mach.IOHubChip) {
 		cs.links[l].Transfer(p, n)
 	}
 	cs.Chip(home).Transfer(p, n)

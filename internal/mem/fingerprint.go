@@ -24,3 +24,16 @@ var fingerprint = func() string {
 // controller, and link cost constants. See topo.Fingerprint for how the
 // sweep-point cache uses it.
 func Fingerprint() string { return fingerprint }
+
+// FingerprintFor renders the memory system's cost constants as built for
+// the given machine: the coherence charges plus the operative per-chip
+// controller and per-link rates. On the default machine it is
+// byte-identical to Fingerprint(), so warm caches survive.
+func FingerprintFor(m *topo.Machine) string {
+	return fprint.New("mem").
+		C("invalidatePerSharer", invalidatePerSharer).
+		C("atomicRMWExtra", atomicRMWExtra).
+		C("controllerBytesPerSec", m.DRAMMaxBytesPerSec/float64(m.Chips)).
+		C("linkBytesPerSec", m.LinkBytesPerSec).
+		Sum()
+}

@@ -31,11 +31,12 @@ const NoLine Line = -1
 
 // state is the directory entry for one line.
 type state struct {
-	sharers uint64 // bitmask of cores holding a valid copy
-	chips   uint8  // bitmask of chips with at least one sharer
-	owner   int8   // core that last wrote, -1 if never written
-	home    int8   // chip whose DRAM homes this line
-	dirty   bool   // true if owner's copy is modified
+	sharers uint64   // bitmask of cores 0..63 holding a valid copy
+	wide    []uint64 // sharer words for cores 64.., nil on <=64-core machines
+	chips   uint64   // bitmask of chips with at least one sharer
+	owner   int16    // core that last wrote, -1 if never written
+	home    int8     // chip whose DRAM homes this line
+	dirty   bool     // true if owner's copy is modified
 
 	// busyUntil is when the line's current ownership transfer completes.
 	// The coherence protocol serializes modifications of one line (§4.1:
@@ -50,6 +51,90 @@ type state struct {
 // models never regrow them access by access.
 const initialLineCap = 1024
 
+// The sharer-set helpers below take the accessor's word index w and its
+// bit within that word (w is always 0 on machines with at most 64 cores,
+// so the first branch of each is the whole story for the paper's host).
+
+// hasSharer reports whether the core at (w, bit) holds a valid copy.
+func (s *state) hasSharer(w int, bit uint64) bool {
+	if w == 0 {
+		return s.sharers&bit != 0
+	}
+	return s.wide[w-1]&bit != 0
+}
+
+// addSharer records a valid copy for the core at (w, bit).
+func (s *state) addSharer(w int, bit uint64) {
+	if w == 0 {
+		s.sharers |= bit
+		return
+	}
+	s.wide[w-1] |= bit
+}
+
+// anySharer reports whether any core holds a valid copy.
+func (s *state) anySharer() bool {
+	if s.sharers != 0 {
+		return true
+	}
+	for _, word := range s.wide {
+		if word != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// onlySharer reports whether the core at (w, bit) is the sole sharer.
+func (s *state) onlySharer(w int, bit uint64) bool {
+	if w == 0 {
+		if s.sharers != bit {
+			return false
+		}
+	} else if s.sharers != 0 {
+		return false
+	}
+	for i, word := range s.wide {
+		want := uint64(0)
+		if i == w-1 {
+			want = bit
+		}
+		if word != want {
+			return false
+		}
+	}
+	return true
+}
+
+// othersCount counts sharers other than the core at (w, bit).
+func (s *state) othersCount(w int, bit uint64) int {
+	mask0 := s.sharers
+	if w == 0 {
+		mask0 &^= bit
+	}
+	n := bits.OnesCount64(mask0)
+	for i, word := range s.wide {
+		if i == w-1 {
+			word &^= bit
+		}
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
+// setExclusive makes the core at (w, bit) the only sharer.
+func (s *state) setExclusive(w int, bit uint64) {
+	s.sharers = 0
+	for i := range s.wide {
+		s.wide[i] = 0
+	}
+	if w == 0 {
+		s.sharers = bit
+	} else {
+		s.wide[w-1] = bit
+	}
+}
+
 // Model is a directory-based coherence cost model for one machine.
 type Model struct {
 	mach  *topo.Machine
@@ -59,6 +144,10 @@ type Model struct {
 	// chipOf caches the core->chip mapping so the hot paths avoid the
 	// placement-policy branch in topo.Machine.Chip.
 	chipOf []int8
+
+	// words is how many uint64 sharer words a line needs beyond the first
+	// (0 on machines with at most 64 cores, the paper's host included).
+	words int
 
 	// Prof collects contention statistics for this machine.
 	Prof *prof.Registry
@@ -70,9 +159,6 @@ type Model struct {
 
 // NewModel returns an empty model for the given machine.
 func NewModel(m *topo.Machine) *Model {
-	if m.NCores > 64 {
-		panic("mem: sharer bitmask supports at most 64 cores")
-	}
 	chipOf := make([]int8, m.NCores)
 	for c := range chipOf {
 		chipOf[c] = int8(m.Chip(c))
@@ -82,6 +168,7 @@ func NewModel(m *topo.Machine) *Model {
 		lines:  make([]state, 0, initialLineCap),
 		stats:  make([]*prof.LineStats, 0, initialLineCap),
 		chipOf: chipOf,
+		words:  (m.NCores + 63) / 64 - 1,
 		Prof:   prof.New(),
 	}
 }
@@ -100,10 +187,14 @@ func (md *Model) Machine() *topo.Machine { return md.mach }
 
 // Alloc allocates a fresh line homed in the DRAM of the given chip.
 func (md *Model) Alloc(homeChip int) Line {
-	if homeChip < 0 || homeChip >= topo.Chips {
+	if homeChip < 0 || homeChip >= md.mach.Chips {
 		panic(fmt.Sprintf("mem: home chip %d out of range", homeChip))
 	}
-	md.lines = append(md.lines, state{owner: -1, home: int8(homeChip)})
+	s := state{owner: -1, home: int8(homeChip)}
+	if md.words > 0 {
+		s.wide = make([]uint64, md.words)
+	}
+	md.lines = append(md.lines, s)
 	md.stats = append(md.stats, nil)
 	return Line(len(md.lines) - 1)
 }
@@ -136,44 +227,45 @@ func (md *Model) st(l Line) *state {
 // in flight waits for the transfer to finish but does not extend the busy
 // window (reads of a settled line proceed in parallel).
 func (md *Model) Read(c int, l Line, now int64) int64 {
-	return md.read(c, uint64(1)<<uint(c), int(md.chipOf[c]), l, now)
+	return md.read(c, c>>6, uint64(1)<<uint(c&63), int(md.chipOf[c]), l, now)
 }
 
-// read is Read with the per-access constants (sharer bit, chip) hoisted so
-// batch charging resolves them once per set instead of once per line.
-func (md *Model) read(c int, bit uint64, myChip int, l Line, now int64) int64 {
+// read is Read with the per-access constants (sharer word + bit, chip)
+// hoisted so batch charging resolves them once per set instead of once
+// per line.
+func (md *Model) read(c, w int, bit uint64, myChip int, l Line, now int64) int64 {
 	s := md.st(l)
 	md.reads++
 
 	var wait int64
-	if s.busyUntil > now && s.sharers&bit == 0 {
+	if s.busyUntil > now && !s.hasSharer(w, bit) {
 		wait = s.busyUntil - now
 	}
 
 	var cost int64
 	switch {
-	case s.sharers&bit != 0:
+	case s.hasSharer(w, bit):
 		// Valid copy in this core's own cache.
-		cost = topo.LatL1
+		cost = md.mach.LatL1
 	case s.dirty:
 		// Must fetch the modified copy from the owner's cache.
 		ownerChip := int(md.chipOf[s.owner])
-		cost = topo.RemoteCacheLatency(myChip, ownerChip)
+		cost = md.mach.RemoteCacheLatency(myChip, ownerChip)
 		if ownerChip != myChip {
 			md.remoteTransfers++
 		}
 		s.dirty = false // downgraded to shared; owner keeps a copy
-	case s.sharers != 0:
+	case s.anySharer():
 		// Clean copy in some cache; nearest provider wins.
 		cost = md.fetchFromSharers(myChip, s)
 	default:
 		// Nobody caches it: DRAM access to the home node.
-		cost = topo.DRAMLatency(myChip, int(s.home))
+		cost = md.mach.DRAMLatency(myChip, int(s.home))
 		if int(s.home) != myChip {
 			md.remoteTransfers++
 		}
 	}
-	s.sharers |= bit
+	s.addSharer(w, bit)
 	s.chips |= 1 << uint(myChip)
 	return wait + cost
 }
@@ -185,16 +277,15 @@ func (md *Model) read(c int, bit uint64, myChip int, l Line, now int64) int64 {
 // bitmask instead of scanning all NCores sharer bits.
 func (md *Model) fetchFromSharers(myChip int, s *state) int64 {
 	if s.chips&(1<<uint(myChip)) != 0 {
-		return topo.LatL3 // same-chip L3 hit
+		return md.mach.LatL3 // same-chip L3 hit
 	}
 	md.remoteTransfers++
-	maxHops := topo.Chips / 2
+	maxHops := md.mach.MaxHops()
 	for d := 1; d <= maxHops; d++ {
-		left := (myChip + d) % topo.Chips
-		right := (myChip - d + topo.Chips) % topo.Chips
-		if s.chips&(1<<uint(left)|1<<uint(right)) != 0 {
-			// Equal hop distance means equal latency for both directions.
-			return topo.DRAMLatency(myChip, left)
+		if md.mach.SharersAtDistance(myChip, d, s.chips) != 0 {
+			// Equal hop distance means equal latency for every provider
+			// at that radius.
+			return md.mach.DRAMLatencyAtHops(d)
 		}
 	}
 	panic("mem: fetchFromSharers on a line with no sharers")
@@ -211,11 +302,11 @@ const invalidatePerSharer = 20
 // its own transfer extends the busy window. This is what makes a single
 // contended counter a bottleneck no matter how "lock-free" it is.
 func (md *Model) Write(c int, l Line, now int64) int64 {
-	return md.write(c, uint64(1)<<uint(c), int(md.chipOf[c]), l, now)
+	return md.write(c, c>>6, uint64(1)<<uint(c&63), int(md.chipOf[c]), l, now)
 }
 
 // write is Write with the per-access constants hoisted (see read).
-func (md *Model) write(c int, bit uint64, myChip int, l Line, now int64) int64 {
+func (md *Model) write(c, w int, bit uint64, myChip int, l Line, now int64) int64 {
 	s := md.st(l)
 	md.writes++
 
@@ -226,20 +317,20 @@ func (md *Model) write(c int, bit uint64, myChip int, l Line, now int64) int64 {
 
 	var cost int64
 	switch {
-	case s.dirty && s.owner == int8(c) && s.sharers == bit:
+	case s.dirty && s.owner == int16(c) && s.onlySharer(w, bit):
 		// Already exclusive and modified: cache hit.
-		cost = topo.LatL1
+		cost = md.mach.LatL1
 	case s.dirty:
 		// Fetch modified data from previous owner, then own it.
 		ownerChip := int(md.chipOf[s.owner])
-		cost = topo.RemoteCacheLatency(myChip, ownerChip)
+		cost = md.mach.RemoteCacheLatency(myChip, ownerChip)
 		if ownerChip != myChip {
 			md.remoteTransfers++
 		}
-	case s.sharers != 0:
+	case s.anySharer():
 		cost = md.fetchFromSharers(myChip, s)
 	default:
-		cost = topo.DRAMLatency(myChip, int(s.home))
+		cost = md.mach.DRAMLatency(myChip, int(s.home))
 		if int(s.home) != myChip {
 			md.remoteTransfers++
 		}
@@ -247,7 +338,7 @@ func (md *Model) write(c int, bit uint64, myChip int, l Line, now int64) int64 {
 	// Invalidation traffic: proportional to the number of *other* caches
 	// holding copies (§4.1: "the protocol finds the cached copies and
 	// invalidates them").
-	others := bits.OnesCount64(s.sharers &^ bit)
+	others := s.othersCount(w, bit)
 	cost += int64(others) * invalidatePerSharer
 
 	// Contention is not work-conserving: an op that had to queue keeps
@@ -262,9 +353,9 @@ func (md *Model) write(c int, bit uint64, myChip int, l Line, now int64) int64 {
 	}
 
 	s.busyUntil = now + wait + occupancy
-	s.sharers = bit
+	s.setExclusive(w, bit)
 	s.chips = 1 << uint(myChip)
-	s.owner = int8(c)
+	s.owner = int16(c)
 	s.dirty = true
 
 	if st := md.stats[l]; st != nil {
@@ -342,21 +433,22 @@ func (ls *LineSet) Lines() []Line { return ls.lines }
 // kernel paths that touch many lines per operation (fork's page-table
 // sample, dlookup's field compare, a DMA buffer's payload) want.
 func (md *Model) AccessSet(c int, lines []Line, op Op, now int64) int64 {
-	bit := uint64(1) << uint(c)
+	w := c >> 6
+	bit := uint64(1) << uint(c&63)
 	myChip := int(md.chipOf[c])
 	var total int64
 	switch op {
 	case OpRead:
 		for _, l := range lines {
-			total += md.read(c, bit, myChip, l, now)
+			total += md.read(c, w, bit, myChip, l, now)
 		}
 	case OpWrite:
 		for _, l := range lines {
-			total += md.write(c, bit, myChip, l, now)
+			total += md.write(c, w, bit, myChip, l, now)
 		}
 	case OpAtomic:
 		for _, l := range lines {
-			total += md.write(c, bit, myChip, l, now) + atomicRMWExtra
+			total += md.write(c, w, bit, myChip, l, now) + atomicRMWExtra
 		}
 	default:
 		panic(fmt.Sprintf("mem: unknown op %d", op))
@@ -374,6 +466,9 @@ func (md *Model) DMAWrite(lines []Line) {
 	for _, l := range lines {
 		s := md.st(l)
 		s.sharers = 0
+		for i := range s.wide {
+			s.wide[i] = 0
+		}
 		s.chips = 0
 		s.owner = -1
 		s.dirty = false

@@ -152,7 +152,7 @@ func TestAccessInvariants(t *testing.T) {
 			if o.Write {
 				md.Write(c, l, now)
 				s := md.st(l)
-				if s.sharers != 1<<uint(c) || !s.dirty || s.owner != int8(c) {
+				if s.sharers != 1<<uint(c) || !s.dirty || s.owner != int16(c) {
 					return false
 				}
 			} else {

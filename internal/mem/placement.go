@@ -52,9 +52,16 @@ func (pl Placement) String() string {
 	return "local"
 }
 
-// ParsePlacement parses a placement policy: "local", "striped", "remote"
-// (home on chip 0), or "home:N" for an explicit home chip.
+// ParsePlacement parses a placement policy for the default machine:
+// "local", "striped", "remote" (home on chip 0), or "home:N" for an
+// explicit home chip.
 func ParsePlacement(s string) (Placement, error) {
+	return ParsePlacementFor(topo.Default(), s)
+}
+
+// ParsePlacementFor is ParsePlacement with the home-chip range checked
+// against the given machine's chip count.
+func ParsePlacementFor(m *topo.Machine, s string) (Placement, error) {
 	switch s {
 	case "", "local":
 		return Placement{}, nil
@@ -65,8 +72,8 @@ func ParsePlacement(s string) (Placement, error) {
 	}
 	if rest, ok := strings.CutPrefix(s, "home:"); ok {
 		chip, err := strconv.Atoi(rest)
-		if err != nil || chip < 0 || chip >= topo.Chips {
-			return Placement{}, fmt.Errorf("mem: bad home chip %q (want 0..%d)", rest, topo.Chips-1)
+		if err != nil || chip < 0 || chip >= m.Chips {
+			return Placement{}, fmt.Errorf("mem: bad home chip %q (want 0..%d)", rest, m.Chips-1)
 		}
 		return PlacementHome(chip), nil
 	}

@@ -24,7 +24,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/slock"
-	"repro/internal/topo"
 )
 
 // Page sizes.
@@ -65,18 +64,19 @@ type Allocator struct {
 // NewAllocator returns an allocator with one free list per chip.
 func NewAllocator(md *mem.Model) *Allocator {
 	a := &Allocator{md: md}
-	for n := 0; n < topo.Chips; n++ {
+	chips := md.Machine().Chips
+	for n := 0; n < chips; n++ {
 		a.locks = append(a.locks, slock.NewSpinLock(md, fmt.Sprintf("pgalloc-node%d", n), n))
 	}
-	a.freed = make([]int64, topo.Chips)
-	a.alloc = make([]int64, topo.Chips)
+	a.freed = make([]int64, chips)
+	a.alloc = make([]int64, chips)
 	return a
 }
 
 // AllocPages allocates n pages from the given node's free list, charging
 // the lock and list manipulation.
 func (a *Allocator) AllocPages(p *sim.Proc, node int, n int64) {
-	if node < 0 || node >= topo.Chips {
+	if node < 0 || node >= len(a.locks) {
 		panic(fmt.Sprintf("mm: alloc from node %d", node))
 	}
 	l := a.locks[node]
@@ -143,9 +143,10 @@ type AddressSpace struct {
 	regions []*Region
 	home    int
 
-	// userCores tracks which cores have faulted in this address space;
-	// unmapping must shoot down their TLBs.
-	userCores uint64
+	// userCores tracks which cores have faulted in this address space
+	// (one bit per core, 64 per word); unmapping must shoot down their
+	// TLBs.
+	userCores []uint64
 }
 
 // NewAddressSpace returns an empty address space whose kernel structures
@@ -158,6 +159,7 @@ func NewAddressSpace(md *mem.Model, alloc *Allocator, cfg Config, homeChip int) 
 		RegionLock: slock.NewRWMutex(md, "mmap_sem", homeChip),
 		superMu:    slock.NewMutex(md, "super-page", homeChip),
 		home:       homeChip,
+		userCores:  make([]uint64, (md.Machine().NCores+63)/64),
 	}
 }
 
@@ -192,7 +194,15 @@ func (as *AddressSpace) Mmap(p *sim.Proc, bytes int64, huge bool) *Region {
 func (as *AddressSpace) Munmap(p *sim.Proc, r *Region) {
 	as.RegionLock.Lock(p)
 	cost := int64(mmapWork)
-	if others := bits.OnesCount64(as.userCores &^ (1 << uint(p.Core()))); others > 0 {
+	c := p.Core()
+	others := 0
+	for w, word := range as.userCores {
+		if w == c>>6 {
+			word &^= 1 << uint(c&63)
+		}
+		others += bits.OnesCount64(word)
+	}
+	if others > 0 {
 		cost += int64(others) * tlbShootdownPerCore
 	}
 	p.Advance(cost)
@@ -224,7 +234,7 @@ const faultEntryWork = 400
 // allocated.
 func (as *AddressSpace) Fault(p *sim.Proc, r *Region, dram *mem.Controllers) {
 	p.Advance(faultEntryWork)
-	as.userCores |= 1 << uint(p.Core())
+	as.userCores[p.Core()>>6] |= 1 << uint(p.Core()&63)
 	as.RegionLock.RLock(p)
 	if r.Huge {
 		mu := as.superMu
@@ -258,8 +268,9 @@ func (as *AddressSpace) populate(p *sim.Proc, r *Region, dram *mem.Controllers) 
 	// core, which is what the lost locality costs the application.
 	zero := r.PageSize() / zeroBytesPerCycle
 	if r.Huge && !as.cfg.NoncachingSuperPageZero {
-		displaced := min(r.PageSize(), int64(topo.L3Bytes)) / topo.CacheLineBytes
-		zero += displaced * topo.LatDRAMLocal / 8 // refills overlap 8-way
+		m := as.md.Machine()
+		displaced := min(r.PageSize(), m.L3Bytes) / m.CacheLineBytes
+		zero += displaced * m.LatDRAMLocal / 8 // refills overlap 8-way
 	}
 	p.Advance(zero)
 	if dram != nil {
@@ -297,7 +308,7 @@ func NewPageStructs(md *mem.Model, n int, padded bool) *PageStructs {
 		touchRefs:  mem.NewLineSet(n),
 	}
 	for i := 0; i < n; i++ {
-		ps.fields = append(ps.fields, mem.NewFields(md, i%topo.Chips, 2, padded))
+		ps.fields = append(ps.fields, mem.NewFields(md, i%md.Machine().Chips, 2, padded))
 	}
 	return ps
 }

@@ -58,16 +58,24 @@ type NIC struct {
 	svc    int64 // cycles per packet at the current queue count
 }
 
-// NewNIC configures the card with one hardware queue per active core.
+// NewNIC configures the card with one hardware queue per active core of
+// the default machine.
 func NewNIC(params NICParams, queues int) *NIC {
+	return NewNICFor(topo.Default(), params, queues)
+}
+
+// NewNICFor configures the card for the given machine. The queue-count
+// decline interpolates from QueueDeclineAfter to the machine's full core
+// count: DeclineFrac is the capacity lost with every queue enabled.
+func NewNICFor(m *topo.Machine, params NICParams, queues int) *NIC {
 	n := &NIC{params: params, queues: queues, engine: sim.NewResource("ixgbe")}
 	pps := params.PeakPPS
-	if queues > params.QueueDeclineAfter {
+	if queues > params.QueueDeclineAfter && m.MaxCores() > params.QueueDeclineAfter {
 		over := float64(queues-params.QueueDeclineAfter) /
-			float64(topo.MaxCores-params.QueueDeclineAfter)
+			float64(m.MaxCores()-params.QueueDeclineAfter)
 		pps *= 1 - params.DeclineFrac*over
 	}
-	n.svc = int64(topo.CyclesPerSec() / pps)
+	n.svc = int64(m.CyclesPerSec() / pps)
 	if n.svc < 1 {
 		n.svc = 1
 	}

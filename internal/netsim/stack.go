@@ -8,7 +8,6 @@ import (
 	"repro/internal/scount"
 	"repro/internal/sim"
 	"repro/internal/slock"
-	"repro/internal/topo"
 	"repro/internal/vfs"
 )
 
@@ -141,7 +140,7 @@ func (s *Stack) dmaHome(p *sim.Proc) int {
 	if s.cfg.LocalDMABuf {
 		return p.Chip()
 	}
-	return topo.IOHubChip
+	return s.md.Machine().IOHubChip
 }
 
 // Misdirected returns how many packets were steered to the wrong core.

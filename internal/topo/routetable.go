@@ -2,93 +2,76 @@ package topo
 
 import (
 	"fmt"
-	"sort"
 )
 
-// RouteTable is a complete chip-to-chip routing for the HyperTransport
-// ring, possibly with links removed: Route(a, b) lists the link indices a
-// transfer from chip a to chip b traverses, and Hops(a, b) is that path's
-// length. The default table is the healthy ring's precomputed shortest
-// paths (identical to the package-level Route/HopDistance); tables built
-// with NewRouteTable reroute deterministically around dead links. Tables
-// are immutable after construction and safe to share across engines.
+// RouteTable is a complete chip-to-chip routing over one machine's link
+// graph, possibly with links removed: Route(a, b) lists the link indices
+// a transfer from chip a to chip b traverses, and Hops(a, b) is that
+// path's length. Each machine's healthy table holds its precomputed
+// shortest paths; tables built with NewRouteTable reroute
+// deterministically around dead links. Tables are immutable after
+// construction and safe to share across engines.
 type RouteTable struct {
-	routes [Chips][Chips][]int
-	hops   [Chips][Chips]int
+	n      int
+	routes [][][]int
+	hops   [][]int
 	dead   []int
 }
 
-// defaultTable holds the same precomputed ring routes as the package
-// routes array. It is built from buildRoute directly rather than from
-// that array because package variable initializers run before init().
-var defaultTable = func() *RouteTable {
-	rt := &RouteTable{}
-	for a := 0; a < Chips; a++ {
-		for b := 0; b < Chips; b++ {
-			rt.routes[a][b] = buildRoute(a, b)
-			rt.hops[a][b] = HopDistance(a, b)
-		}
-	}
-	return rt
-}()
+// DefaultRouteTable returns the default machine's healthy routing: ring
+// shortest paths with the antipodal tie broken toward increasing chip
+// numbers.
+func DefaultRouteTable() *RouteTable { return defaultMachine.DefaultRoutes() }
 
-// DefaultRouteTable returns the healthy machine's routing: ring shortest
-// paths with the antipodal tie broken toward increasing chip numbers.
-func DefaultRouteTable() *RouteTable { return defaultTable }
-
-// NewRouteTable returns a routing for the ring with the given links
-// removed (by ring index, see LinkEnds). Paths are breadth-first shortest
-// routes over the surviving links with a deterministic tie-break (the
-// increasing-chip direction is explored first), so two engines building a
-// table from the same dead set route identically. An error is returned if
-// the dead links partition the ring — some chip pair would have no path —
-// or a link index is out of range.
+// NewRouteTable returns a routing for the default machine's ring with
+// the given links removed (by ring index, see LinkEnds). Paths are
+// breadth-first shortest routes over the surviving links with a
+// deterministic tie-break (the increasing-chip direction is explored
+// first), so two engines building a table from the same dead set route
+// identically. An error is returned if the dead links partition the
+// interconnect — some chip pair would have no path — or a link index is
+// out of range.
 func NewRouteTable(dead []int) (*RouteTable, error) {
-	for _, l := range dead {
-		if l < 0 || l >= NumLinks {
-			return nil, fmt.Errorf("topo: dead link %d out of range [0,%d)", l, NumLinks)
-		}
+	return defaultMachine.NewRouteTable(dead)
+}
+
+// bfsRoutes computes shortest paths over the adjacency lists, skipping
+// links in deadSet. Each chip's adjacency order is the deterministic
+// tie-break: the first shortest path discovered wins, identically on
+// every engine. sortedDead is recorded as the table's DeadLinks.
+func bfsRoutes(chips int, adj [][]adjHop, deadSet map[int]bool, sortedDead []int) (*RouteTable, error) {
+	rt := &RouteTable{
+		n:      chips,
+		routes: make([][][]int, chips),
+		hops:   make([][]int, chips),
+		dead:   sortedDead,
 	}
-	if len(dead) == 0 {
-		return defaultTable, nil
-	}
-	deadSet := map[int]bool{}
-	for _, l := range dead {
-		deadSet[l] = true
-	}
-	rt := &RouteTable{dead: append([]int(nil), dead...)}
-	sort.Ints(rt.dead)
-	for a := 0; a < Chips; a++ {
+	for a := 0; a < chips; a++ {
+		rt.routes[a] = make([][]int, chips)
+		rt.hops[a] = make([]int, chips)
 		// BFS from a. prev[c] records the (chip, link) we reached c by.
-		type hop struct{ chip, link int }
-		prev := [Chips]hop{}
-		seen := [Chips]bool{}
+		prev := make([]adjHop, chips)
+		seen := make([]bool, chips)
 		seen[a] = true
 		queue := []int{a}
 		for len(queue) > 0 {
 			c := queue[0]
 			queue = queue[1:]
-			// Deterministic neighbor order: the increasing-chip direction
-			// first, matching the healthy ring's tie-break.
-			next := []hop{
-				{(c + 1) % Chips, c}, // link c joins c and c+1
-				{(c - 1 + Chips) % Chips, (c - 1 + Chips) % Chips}, // link c-1 joins c-1 and c
-			}
-			for _, n := range next {
+			for _, n := range adj[c] {
 				if deadSet[n.link] || seen[n.chip] {
 					continue
 				}
 				seen[n.chip] = true
-				prev[n.chip] = hop{c, n.link}
+				prev[n.chip] = adjHop{c, n.link}
 				queue = append(queue, n.chip)
 			}
 		}
-		for b := 0; b < Chips; b++ {
+		for b := 0; b < chips; b++ {
 			if a == b {
 				continue
 			}
 			if !seen[b] {
-				return nil, fmt.Errorf("topo: dead links %v partition the ring: no path from chip %d to chip %d", rt.dead, a, b)
+				return nil, fmt.Errorf("topo: dead links %v partition the interconnect: no path from chip %d to chip %d", rt.dead, a, b)
 			}
 			// Walk back from b to a, then reverse into traversal order.
 			var rev []int
@@ -109,22 +92,26 @@ func NewRouteTable(dead []int) (*RouteTable, error) {
 // Route returns the link indices on the path from chip a to chip b, in
 // traversal order (empty for a == b). Callers must not mutate the slice.
 func (rt *RouteTable) Route(a, b int) []int {
-	if a < 0 || a >= Chips || b < 0 || b >= Chips {
-		panic(fmt.Sprintf("topo: route %d->%d out of range [0,%d)", a, b, Chips))
+	if a < 0 || a >= rt.n || b < 0 || b >= rt.n {
+		panic(fmt.Sprintf("topo: route %d->%d out of range [0,%d)", a, b, rt.n))
 	}
 	return rt.routes[a][b]
 }
 
 // Hops returns the path length from chip a to chip b under this table; it
-// equals HopDistance on the default table and can only grow when links
-// are dead (the detour is longer, and its latency charges accordingly).
+// equals the machine's HopDistance on the healthy table and can only grow
+// when links are dead (the detour is longer, and its latency charges
+// accordingly).
 func (rt *RouteTable) Hops(a, b int) int {
-	if a < 0 || a >= Chips || b < 0 || b >= Chips {
-		panic(fmt.Sprintf("topo: hops %d->%d out of range [0,%d)", a, b, Chips))
+	if a < 0 || a >= rt.n || b < 0 || b >= rt.n {
+		panic(fmt.Sprintf("topo: hops %d->%d out of range [0,%d)", a, b, rt.n))
 	}
 	return rt.hops[a][b]
 }
 
-// DeadLinks returns the ring indices this table routes around (nil for
-// the default table). Callers must not mutate the slice.
+// Chips returns the number of chips the table routes between.
+func (rt *RouteTable) Chips() int { return rt.n }
+
+// DeadLinks returns the link indices this table routes around (nil for a
+// healthy table). Callers must not mutate the slice.
 func (rt *RouteTable) DeadLinks() []int { return rt.dead }

@@ -91,36 +91,17 @@ var fingerprint = func() string {
 // the cached figures that could have changed.
 func Fingerprint() string { return fingerprint }
 
-// Machine describes an active machine configuration: the first NCores cores
-// of the 48-core host are enabled, the rest are disabled (§5.1: "Experiments
-// that use fewer than 48 cores run with the other cores entirely disabled").
-type Machine struct {
-	// NCores is the number of enabled cores (1..48).
-	NCores int
-	// RoundRobin selects the core->chip placement policy. When false,
-	// enabled cores fill chips in order ("packed", the default used by
-	// most experiments). When true, enabled cores are spread evenly
-	// across chips, as in the pedsort "Procs RR" configuration (§5.7).
-	RoundRobin bool
-}
+// New returns the default machine (the paper's host) with n enabled cores
+// packed onto the fewest chips (§5.1: "Experiments that use fewer than 48
+// cores run with the other cores entirely disabled"). It panics if n is
+// out of range; configurations are static test inputs, so an invalid
+// count is a programming error, not a runtime condition.
+func New(n int) *Machine { return defaultMachine.WithCores(n) }
 
-// New returns a machine with n enabled cores packed onto the fewest chips.
-// It panics if n is out of range; configurations are static test inputs, so
-// an invalid count is a programming error, not a runtime condition.
-func New(n int) *Machine {
-	if n < 1 || n > MaxCores {
-		panic(fmt.Sprintf("topo: core count %d out of range [1,%d]", n, MaxCores))
-	}
-	return &Machine{NCores: n}
-}
-
-// NewRR returns a machine with n enabled cores spread round-robin across all
-// eight chips, the placement the paper uses for pedsort and Metis.
-func NewRR(n int) *Machine {
-	m := New(n)
-	m.RoundRobin = true
-	return m
-}
+// NewRR returns the default machine with n enabled cores spread
+// round-robin across all eight chips, the placement the paper uses for
+// pedsort and Metis.
+func NewRR(n int) *Machine { return defaultMachine.WithCoresRR(n) }
 
 // Chip returns the chip (NUMA node) that enabled core c sits on.
 func (m *Machine) Chip(c int) int {
@@ -128,20 +109,20 @@ func (m *Machine) Chip(c int) int {
 		panic(fmt.Sprintf("topo: core %d out of range [0,%d)", c, m.NCores))
 	}
 	if m.RoundRobin {
-		return c % Chips
+		return c % m.Chips
 	}
-	return c / CoresPerChip
+	return c / m.CoresPerChip
 }
 
 // ChipsInUse returns the number of chips with at least one enabled core.
 func (m *Machine) ChipsInUse() int {
 	if m.RoundRobin {
-		if m.NCores >= Chips {
-			return Chips
+		if m.NCores >= m.Chips {
+			return m.Chips
 		}
 		return m.NCores
 	}
-	return (m.NCores + CoresPerChip - 1) / CoresPerChip
+	return (m.NCores + m.CoresPerChip - 1) / m.CoresPerChip
 }
 
 // CoresOnChip returns how many enabled cores sit on the given chip.
@@ -219,49 +200,13 @@ func LinkEnds(l int) (a, b int) {
 	return l, (l + 1) % Chips
 }
 
-// routes[a][b] is the precomputed link path from chip a to chip b.
-var routes [Chips][Chips][]int
-
-func init() {
-	for a := 0; a < Chips; a++ {
-		for b := 0; b < Chips; b++ {
-			routes[a][b] = buildRoute(a, b)
-		}
-	}
-}
-
-func buildRoute(a, b int) []int {
-	if a == b {
-		return nil
-	}
-	up := (b - a + Chips) % Chips
-	if up <= Chips-up {
-		// Increasing-chip direction; the 4-hop antipode tie also routes
-		// this way, keeping path selection deterministic.
-		r := make([]int, 0, up)
-		for c := a; c != b; c = (c + 1) % Chips {
-			r = append(r, c) // link c joins chips c and c+1
-		}
-		return r
-	}
-	r := make([]int, 0, Chips-up)
-	for c := a; c != b; c = (c - 1 + Chips) % Chips {
-		r = append(r, (c-1+Chips)%Chips)
-	}
-	return r
-}
-
 // Route returns the link indices on the deterministic shortest
-// HyperTransport path from chip a to chip b, in traversal order. The route
-// is empty for a == b, its length always equals HopDistance(a, b), and the
-// antipodal (4-hop) tie is broken toward increasing chip numbers. Callers
-// must not mutate the returned slice.
-func Route(a, b int) []int {
-	if a < 0 || a >= Chips || b < 0 || b >= Chips {
-		panic(fmt.Sprintf("topo: route %d->%d out of range [0,%d)", a, b, Chips))
-	}
-	return routes[a][b]
-}
+// HyperTransport path from chip a to chip b on the default machine, in
+// traversal order. The route is empty for a == b, its length always
+// equals HopDistance(a, b), and the antipodal (4-hop) tie is broken
+// toward increasing chip numbers. Callers must not mutate the returned
+// slice.
+func Route(a, b int) []int { return defaultMachine.DefaultRoutes().Route(a, b) }
 
 // RemoteCacheLatency returns the cycle cost for a core on chip `from` to
 // fetch a line that is dirty in a cache on chip `owner`. The paper notes

@@ -46,16 +46,17 @@ func toAppResult(r apps.Result) AppResult {
 }
 
 func kernelFor(pk bool, cores int, rr bool, seed uint64) (*kernel.Kernel, error) {
-	if cores < 1 || cores > topo.MaxCores {
-		return nil, fmt.Errorf("mosbench: cores %d out of range [1,%d]", cores, topo.MaxCores)
+	host := topo.Default()
+	if cores < 1 || cores > host.MaxCores() {
+		return nil, fmt.Errorf("mosbench: cores %d out of range [1,%d]", cores, host.MaxCores())
 	}
 	cfg := kernel.Stock()
 	if pk {
 		cfg = kernel.PK()
 	}
-	m := topo.New(cores)
+	m := host.WithCores(cores)
 	if rr {
-		m = topo.NewRR(cores)
+		m = host.WithCoresRR(cores)
 	}
 	if seed == 0 {
 		seed = 1

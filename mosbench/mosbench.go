@@ -16,11 +16,13 @@ package mosbench
 import (
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/mem"
+	"repro/internal/topo"
 )
 
 // Options controls a run.
@@ -60,6 +62,12 @@ type Options struct {
 	// past it is abandoned and reported in Series.Failed. Zero means the
 	// default (2 minutes).
 	PointTimeout time.Duration
+	// Machine selects the simulated host by registered profile name
+	// ("s4985", "ring16", "mesh4x4", "big192", ...; see Machines). Empty
+	// runs the paper's default 48-core Tyan S4985. A non-default machine
+	// gets its own cache sections, so switching profiles never invalidates
+	// the default machine's warm cache.
+	Machine string
 	// Shards and ShardIndex split the sweep's point grid across
 	// cooperating processes: with Shards > 1, this run computes only the
 	// points whose identity hashes to ShardIndex (0-based) and skips the
@@ -70,14 +78,61 @@ type Options struct {
 	Shards, ShardIndex int
 }
 
-// CheckFault validates a fault-injection spec without running anything,
-// returning the error a Run with this spec would report.
-func CheckFault(spec string) error {
+// CheckFault validates a fault-injection spec against the default machine
+// without running anything, returning the error a Run with this spec
+// would report.
+func CheckFault(spec string) error { return CheckFaultFor(spec, "") }
+
+// CheckFaultFor validates a fault-injection spec against the named
+// machine profile ("" = default): a link event must name chips joined by
+// a link on that machine, a dram event a chip the machine has, and so on.
+func CheckFaultFor(spec, machine string) error {
 	s, err := fault.Parse(spec)
 	if err != nil {
 		return err
 	}
-	return s.Validate()
+	m, err := lookupMachine(machine)
+	if err != nil {
+		return err
+	}
+	return s.ValidateFor(m)
+}
+
+// MachineProfile describes one registered machine profile.
+type MachineProfile struct {
+	// Name is what Options.Machine (and cmd/mosbench -machine) accepts.
+	Name string
+	// Chips and Cores are the profile's chip count and total core count.
+	Chips, Cores int
+	// Default marks the paper's host, used when Options.Machine is empty.
+	Default bool
+}
+
+// Machines lists the registered machine profiles, sorted by name.
+func Machines() []MachineProfile {
+	var out []MachineProfile
+	for _, name := range topo.Names() {
+		m, _ := topo.Lookup(name)
+		out = append(out, MachineProfile{
+			Name: name, Chips: m.Chips, Cores: m.MaxCores(),
+			Default: name == topo.Default().Name,
+		})
+	}
+	return out
+}
+
+// lookupMachine resolves a profile name ("" = default) or returns an
+// error listing what is registered.
+func lookupMachine(name string) (*topo.Machine, error) {
+	if name == "" {
+		return topo.Default(), nil
+	}
+	m, ok := topo.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("mosbench: unknown machine %q (registered: %s)",
+			name, strings.Join(topo.Names(), ", "))
+	}
+	return m, nil
 }
 
 // CheckPlacement validates a placement policy string ("local", "striped",
@@ -300,9 +355,16 @@ func Run(id string, o Options) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
+	m, err := lookupMachine(o.Machine)
+	if err != nil {
+		return nil, err
+	}
 	ho := harness.Options{
 		Cores: o.Cores, Quick: o.Quick, Seed: o.Seed, Serial: o.Serial,
 		Placement: pl, FreshEngines: o.FreshEngines, PointTimeout: o.PointTimeout,
+	}
+	if o.Machine != "" {
+		ho.Machine = m
 	}
 	if o.Shards != 0 || o.ShardIndex != 0 {
 		shards := o.Shards
@@ -319,7 +381,7 @@ func Run(id string, o Options) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := spec.Validate(); err != nil {
+		if err := spec.ValidateFor(m); err != nil {
 			return nil, err
 		}
 		ho.Fault = spec
