@@ -13,6 +13,8 @@
 //	mosbench -experiment machines -quick        (stock-vs-PK across profiles)
 //	mosbench -experiment degrade -fault "link:3-4@50%,drop:0.01"
 //	mosbench -experiment fig5 -fault "core:7@off,dram:0@50%@t=1ms"
+//	mosbench -experiment latload -quick
+//	mosbench -experiment latload -arrival pareto -link "rtt=200us±100,loss=0.5%" -shed qlen=16
 //	mosbench -all -quick
 //	mosbench -all -cores 1..48 -cache ./sweepcache   (second run: all hits)
 //	mosbench -all -cache ./sweepcache -verbose -cachestats stats.json
@@ -48,21 +50,24 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		exp     = flag.String("experiment", "", "experiment ID to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		cores   = flag.String("cores", "", "core counts: comma-separated values and lo..hi ranges, e.g. 1,8,48 or 1..48 (default: standard sweep)")
-		quick   = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
-		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
-		seed    = flag.Uint64("seed", 1, "deterministic PRNG seed")
-		serial  = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
-		place   = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
-		machine = flag.String("machine", "", "machine profile to simulate (default: the paper's 48-core Tyan S4985); -list shows the registered profiles")
-		faults  = flag.String("fault", "", "deterministic fault-injection spec, e.g. \"link:3-4@50%,drop:0.01\" (events: link:A-B@P%|down, dram:C@P%, core:N@off, drop:P, dup:P; optional @t=<dur> activation)")
-		cache   = flag.String("cache", "", "directory for the on-disk sweep-point cache: repeated grid runs are served without simulating")
-		verbose = flag.Bool("verbose", false, "report per-experiment cache hit/miss/invalidation counters after the run (requires -cache)")
-		stats   = flag.String("cachestats", "", "write per-experiment cache hit/miss stats as JSON to this path after the run (requires -cache)")
-		bench   = flag.String("benchjson", "", "write simulator microbenchmarks (engine dispatch, handoff, sweep wall-clock) as JSON to this path and exit, ignoring every other flag")
+		list       = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		cores      = flag.String("cores", "", "core counts: comma-separated values and lo..hi ranges, e.g. 1,8,48 or 1..48 (default: standard sweep)")
+		quick      = flag.Bool("quick", false, "shrink budgets and sweep for a fast run")
+		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
+		seed       = flag.Uint64("seed", 1, "deterministic PRNG seed")
+		serial     = flag.Bool("serial", false, "run sweep points serially instead of across GOMAXPROCS workers")
+		place      = flag.String("placement", "local", "bulk-data placement policy for streaming workloads: local, striped, remote, or home:N")
+		machine    = flag.String("machine", "", "machine profile to simulate (default: the paper's 48-core Tyan S4985); -list shows the registered profiles")
+		faults     = flag.String("fault", "", "deterministic fault-injection spec, e.g. \"link:3-4@50%,drop:0.01\" (events: link:A-B@P%|down, dram:C@P%, core:N@off, drop:P, dup:P; optional @t=<dur> activation)")
+		arrival    = flag.String("arrival", "", "open-loop arrival process for load experiments: poisson[:users=N] or pareto[:alpha=A][,users=N] (default: the experiment's choice)")
+		link       = flag.String("link", "", "client link shaping for open-loop experiments, e.g. \"rtt=20ms±5,loss=0.1%,bw=10mbit\" (default: ideal link)")
+		shed       = flag.String("shed", "", "open-loop admission policy: fifo (unbounded queue), qlen=N (bounded accept queue), or delay=100us (delay-bounded; the latload default)")
+		cache      = flag.String("cache", "", "directory for the on-disk sweep-point cache: repeated grid runs are served without simulating")
+		verbose    = flag.Bool("verbose", false, "report per-experiment cache hit/miss/invalidation counters after the run (requires -cache)")
+		stats      = flag.String("cachestats", "", "write per-experiment cache hit/miss stats as JSON to this path after the run (requires -cache)")
+		bench      = flag.String("benchjson", "", "write simulator microbenchmarks (engine dispatch, handoff, sweep wall-clock) as JSON to this path and exit, ignoring every other flag")
 		benchBase  = flag.String("benchbaseline", "", "after -benchjson, compare the fresh numbers against the committed report at this path and exit 1 if any metric regressed by more than -benchfactor")
 		benchFact  = flag.Float64("benchfactor", 2.0, "allowed growth factor per metric for -benchbaseline")
 		shards     = flag.Int("shards", 1, "split the sweep across N worker processes sharing -cache <dir>, then print the merged result")
@@ -137,8 +142,18 @@ func main() {
 	if err := mosbench.CheckFaultFor(*faults, *machine); err != nil {
 		fatalUsage(fmt.Sprintf("bad -fault spec: %v", err))
 	}
+	if err := mosbench.CheckArrival(*arrival); err != nil {
+		fatalUsage(fmt.Sprintf("bad -arrival spec: %v; valid forms: poisson, poisson:users=N, pareto, pareto:alpha=A,users=N", err))
+	}
+	if err := mosbench.CheckLink(*link); err != nil {
+		fatalUsage(fmt.Sprintf("bad -link spec: %v; valid fields (comma-separated): rtt=20ms±5 (or rtt=20ms+-5), loss=0.1%%, bw=10mbit", err))
+	}
+	if err := mosbench.CheckShed(*shed); err != nil {
+		fatalUsage(fmt.Sprintf("bad -shed spec: %v; valid forms: fifo, qlen=N, delay=100us", err))
+	}
 
-	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place, Fault: *faults, Machine: *machine}
+	o := mosbench.Options{Quick: *quick, Seed: *seed, Serial: *serial, Placement: *place, Fault: *faults, Machine: *machine,
+		Arrival: *arrival, Link: *link, Shed: *shed}
 	if *cores != "" {
 		cs, err := parseCores(*cores, prof.Cores)
 		if err != nil {

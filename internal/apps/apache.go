@@ -94,6 +94,7 @@ func RunApache(k *kernel.Kernel, opts ApacheOpts) Result {
 		Cores:      cores,
 		Ops:        int64(len(workers) * opts.RequestsPerCore),
 		NetRetries: stack.Retries(),
+		NetDups:    stack.Duplicated(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

@@ -16,6 +16,7 @@ package apps
 
 import (
 	"repro/internal/kernel"
+	"repro/internal/load"
 	"repro/internal/topo"
 )
 
@@ -56,8 +57,30 @@ type Result struct {
 	// alongside DRAMUtil for the same workloads.
 	LinkUtil []float64
 	// NetRetries counts packets the network stack resent after injected
-	// NIC drops (0 on a healthy machine or for loopback-only workloads).
+	// NIC drops (0 on a healthy machine or for loopback-only workloads),
+	// plus, in open-loop runs, client retransmissions driven by timeouts
+	// and link loss.
 	NetRetries int64
+	// NetDups counts spurious duplicate deliveries the stack processed
+	// and discarded: injected NIC dups plus, in open-loop runs, client
+	// retransmissions of requests that were already queued.
+	NetDups int64
+
+	// Open-loop fields, populated only by the RunXOpenLoop runners. Ops
+	// then counts goodput: requests answered within the client's patience.
+	//
+	// Sojourns is the client-perceived latency histogram of completed
+	// requests (nil for closed-loop runs).
+	Sojourns *load.Hist
+	// OfferedOps = Ops + ShedOps + LateOps: every offered request is
+	// accounted exactly once.
+	OfferedOps int64
+	// ShedOps counts requests refused at the bounded accept queue.
+	ShedOps int64
+	// LateOps counts requests served after the client gave up.
+	LateOps int64
+	// OfferedPerCore is the offered arrival rate per core (req/sec).
+	OfferedPerCore float64
 }
 
 // RetriesPerOp returns resent packets per application operation — the
@@ -67,6 +90,24 @@ func (r Result) RetriesPerOp() float64 {
 		return 0
 	}
 	return float64(r.NetRetries) / float64(r.Ops)
+}
+
+// DupsPerOp returns discarded duplicate deliveries per application
+// operation, alongside RetriesPerOp in the sweep output.
+func (r Result) DupsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.NetDups) / float64(r.Ops)
+}
+
+// SojournMicros returns the q-quantile of client-perceived latency in
+// microseconds, 0 for closed-loop runs (no sojourn histogram).
+func (r Result) SojournMicros(q float64) float64 {
+	if r.Sojourns == nil || r.Sojourns.Count() == 0 {
+		return 0
+	}
+	return topo.CyclesToMicros(r.Sojourns.Quantile(q))
 }
 
 // Throughput returns total operations per second of virtual time.

@@ -102,6 +102,7 @@ func RunExim(k *kernel.Kernel, opts EximOpts) Result {
 		Cores:      cores,
 		Ops:        int64(len(workers) * opts.MessagesPerCore),
 		NetRetries: stack.Retries(),
+		NetDups:    stack.Duplicated(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

@@ -65,6 +65,7 @@ func RunMemcached(k *kernel.Kernel, opts MemcachedOpts) Result {
 		Cores:      cores,
 		Ops:        int64(len(workers) * opts.RequestsPerCore),
 		NetRetries: stack.Retries(),
+		NetDups:    stack.Duplicated(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/load"
+	"repro/internal/topo"
+)
+
+// openLoopAt runs one app's open-loop driver at a small budget.
+func openLoopAt(t *testing.T, app string, cores int, ol OpenLoopOpts) Result {
+	t.Helper()
+	ol.RequestsPerCore = 120
+	ol.CalibRequestsPerCore = 30
+	k := kernel.New(topo.New(cores), kernel.PK(), 1)
+	switch app {
+	case "memcached":
+		return RunMemcachedOpenLoop(k, DefaultMemcachedOpts(), ol)
+	case "apache":
+		return RunApacheOpenLoop(k, DefaultApacheOpts(), ol)
+	case "exim":
+		return RunEximOpenLoop(k, DefaultEximOpts(), ol)
+	case "postgres":
+		return RunPostgresOpenLoop(k, DefaultPostgresOpts(), ol)
+	}
+	t.Fatalf("unknown app %q", app)
+	return Result{}
+}
+
+// TestOpenLoopAllApps: every server workload runs under the open-loop
+// driver and produces a coherent Result: full accounting, a populated
+// sojourn histogram, and an offered rate at the requested multiple.
+func TestOpenLoopAllApps(t *testing.T) {
+	for _, app := range []string{"memcached", "apache", "exim", "postgres"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			r := openLoopAt(t, app, 4, OpenLoopOpts{LoadPercent: 75})
+			if r.OfferedOps != 4*120 {
+				t.Fatalf("offered %d, want %d", r.OfferedOps, 4*120)
+			}
+			if r.Ops+r.ShedOps+r.LateOps != r.OfferedOps {
+				t.Errorf("%d completed + %d shed + %d late != %d offered",
+					r.Ops, r.ShedOps, r.LateOps, r.OfferedOps)
+			}
+			if r.Ops == 0 {
+				t.Fatal("no completions at 75% load")
+			}
+			if int64(r.Sojourns.Count()) != r.Ops {
+				t.Errorf("sojourn histogram has %d samples, want %d", r.Sojourns.Count(), r.Ops)
+			}
+			if r.OfferedPerCore <= 0 {
+				t.Error("no offered rate recorded")
+			}
+			if r.SojournMicros(0.5) <= 0 || r.SojournMicros(0.99) < r.SojournMicros(0.5) {
+				t.Errorf("bad quantiles: p50 %.1fus p99 %.1fus", r.SojournMicros(0.5), r.SojournMicros(0.99))
+			}
+		})
+	}
+}
+
+// TestOpenLoopOverloadDiffersByApp pins the two Discard models: the UDP
+// server (memcached) re-serves client retransmissions in full and counts
+// no duplicates, while TCP-backed servers dedup them cheaply and the
+// duplicate counter surfaces through Result.NetDups.
+func TestOpenLoopOverloadDiffersByApp(t *testing.T) {
+	over := OpenLoopOpts{LoadPercent: 300}
+
+	mc := openLoopAt(t, "memcached", 4, over)
+	if mc.NetRetries == 0 {
+		t.Error("memcached at 3x load shows no client retransmissions")
+	}
+	if mc.NetDups != 0 {
+		t.Errorf("memcached counts %d dedups; UDP cannot dedup", mc.NetDups)
+	}
+
+	ap := openLoopAt(t, "apache", 4, over)
+	if ap.NetRetries == 0 {
+		t.Error("apache at 3x load shows no client retransmissions")
+	}
+	if ap.NetDups == 0 {
+		t.Error("apache at 3x load deduplicated nothing; TCP should discard by sequence number")
+	}
+	if ap.DupsPerOp() <= 0 {
+		t.Error("DupsPerOp not derived from NetDups")
+	}
+}
+
+// TestOpenLoopSheddingCapsLatency: with the delay-bounded policy the
+// worst sojourn stays near the budget while the unbounded FIFO's tail
+// runs away, and goodput under shedding is no worse.
+func TestOpenLoopSheddingCapsLatency(t *testing.T) {
+	over := OpenLoopOpts{LoadPercent: 200}
+	fifo := openLoopAt(t, "memcached", 4, over)
+
+	shed := over
+	shed.Shed = &load.ShedSpec{DelayCycles: load.DefaultShedDelayCycles}
+	sh := openLoopAt(t, "memcached", 4, shed)
+
+	if sh.ShedOps == 0 {
+		t.Fatal("bounded policy shed nothing at 2x load")
+	}
+	if fifo.ShedOps != 0 {
+		t.Fatalf("unbounded FIFO shed %d", fifo.ShedOps)
+	}
+	if sh.SojournMicros(0.999) >= fifo.SojournMicros(0.999) {
+		t.Errorf("shedding p999 %.0fus not below FIFO p999 %.0fus",
+			sh.SojournMicros(0.999), fifo.SojournMicros(0.999))
+	}
+	// A short burst ends before FIFO's backlog turns into timeouts, so
+	// goodput is compared only under sustained overload (the latload
+	// golden test); here the bound is on what shedding may cost.
+	if sh.Ops+sh.ShedOps != sh.OfferedOps {
+		t.Errorf("%d completed + %d shed != %d offered", sh.Ops, sh.ShedOps, sh.OfferedOps)
+	}
+}
+
+// TestOpenLoopDeterminism: same seed, same Result, for a spec-heavy
+// configuration (heavy-tailed arrivals, lossy jittered link, shedding).
+func TestOpenLoopDeterminism(t *testing.T) {
+	arr, err := load.ParseArrival("pareto:alpha=1.3,users=10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := load.ParseLink("rtt=100us±50us,loss=1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol := OpenLoopOpts{Arrival: arr, Link: link, Shed: &load.ShedSpec{QueueLimit: 16}, LoadPercent: 150}
+	a := openLoopAt(t, "memcached", 4, ol)
+	b := openLoopAt(t, "memcached", 4, ol)
+	if a.Ops != b.Ops || a.ShedOps != b.ShedOps || a.LateOps != b.LateOps ||
+		a.NetRetries != b.NetRetries || *a.Sojourns != *b.Sojourns {
+		t.Error("identical open-loop runs diverged")
+	}
+}

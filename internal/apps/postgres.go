@@ -65,19 +65,9 @@ type pgState struct {
 	rootSpin *slock.SpinLock
 }
 
-// RunPostgres executes the database workload: one server process per core
-// (one middleware connection per core), queries in batches. Three paper
-// variants: stock kernel + stock PG, stock kernel + modified PG, and PK +
-// modified PG.
-func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
-	e := k.Engine
-	fs := k.FS
-	stack := k.NewStack(nil) // long-lived steered connections; card not limiting
-
-	fs.MustCreateFile("/pgdata/base/table", 600<<20)
-	fs.MustCreateFile("/pgdata/base/index", 128<<20)
-	fs.MustCreateFile("/pgdata/pg_xlog/wal", 0)
-
+// newPGState builds the shared instance state: the lock-manager mutex
+// array (16 stock, 1024 modPG) and the buffer-cache root-page spin lock.
+func newPGState(k *kernel.Kernel, opts PostgresOpts) *pgState {
 	nMutex := opts.LockMutexes
 	if nMutex == 0 {
 		if opts.ModPG {
@@ -93,6 +83,23 @@ func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
 		m.ChargeUser = true
 		st.lockMgr = append(st.lockMgr, m)
 	}
+	return st
+}
+
+// RunPostgres executes the database workload: one server process per core
+// (one middleware connection per core), queries in batches. Three paper
+// variants: stock kernel + stock PG, stock kernel + modified PG, and PK +
+// modified PG.
+func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
+	e := k.Engine
+	fs := k.FS
+	stack := k.NewStack(nil) // long-lived steered connections; card not limiting
+
+	fs.MustCreateFile("/pgdata/base/table", 600<<20)
+	fs.MustCreateFile("/pgdata/base/index", 128<<20)
+	fs.MustCreateFile("/pgdata/pg_xlog/wal", 0)
+
+	st := newPGState(k, opts)
 
 	cores := k.Machine.NCores
 	workers := onlineCores(k)
@@ -128,6 +135,7 @@ func RunPostgres(k *kernel.Kernel, opts PostgresOpts) Result {
 		Cores:      cores,
 		Ops:        int64(len(workers) * opts.QueriesPerCore),
 		NetRetries: stack.Retries(),
+		NetDups:    stack.Duplicated(),
 		WallCycles: e.Now(),
 		UserCycles: e.TotalUserCycles(),
 		SysCycles:  e.TotalSysCycles(),

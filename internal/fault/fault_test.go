@@ -150,10 +150,26 @@ func TestBackoffDoublesAndCaps(t *testing.T) {
 	if Backoff(1) != 2*RetryBaseCycles {
 		t.Errorf("Backoff(1) = %d, want %d", Backoff(1), 2*RetryBaseCycles)
 	}
-	for n := 0; n < 40; n++ {
-		if b := Backoff(n); b > RetryCapCycles {
+	// Monotone then capped: each attempt waits at least as long as the
+	// previous one, and once the cap is reached the delay pins there
+	// exactly — the property the open-loop client's retransmission
+	// deadlines (and the degrade experiment's latency floor) build on.
+	capped := false
+	for n := 1; n < 40; n++ {
+		prev, b := Backoff(n-1), Backoff(n)
+		if b < prev {
+			t.Fatalf("Backoff(%d) = %d < Backoff(%d) = %d; backoff must be monotone", n, b, n-1, prev)
+		}
+		if b > RetryCapCycles {
 			t.Fatalf("Backoff(%d) = %d exceeds cap %d", n, b, RetryCapCycles)
 		}
+		if capped && b != RetryCapCycles {
+			t.Fatalf("Backoff(%d) = %d left the cap %d", n, b, RetryCapCycles)
+		}
+		capped = capped || b == RetryCapCycles
+	}
+	if !capped {
+		t.Fatalf("Backoff never reached the cap %d within 40 attempts", RetryCapCycles)
 	}
 }
 

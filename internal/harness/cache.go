@@ -26,7 +26,7 @@ const cacheVersion = 2
 // experiment through the fingerprint stored in each section.
 var cacheSchema = func() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d|sections=experiment:fingerprint|key=variant|cores|seed|quick|placement|fault|", cacheVersion)
+	fmt.Fprintf(h, "v%d|sections=experiment:fingerprint|key=variant|cores|seed|quick|placement|fault|arrival|link|shed|", cacheVersion)
 	t := reflect.TypeOf(Point{})
 	for i := 0; i < t.NumField(); i++ {
 		fmt.Fprintf(h, "%s %s|", t.Field(i).Name, t.Field(i).Type)
@@ -392,10 +392,17 @@ func (c *Cache) store(exp, fp, key string, p Point) {
 // section's cost-model fingerprint (the experiment's tuning constants).
 // The fault term is the spec's canonical string ("none" for a clean run),
 // so faulted points never alias clean ones and clean-run hits are
-// unaffected by fault sweeps sharing the cache.
+// unaffected by fault sweeps sharing the cache. The arrival/link/shed
+// terms do the same for the open-loop specs ("none"/"none"/"fifo" when
+// unset), so open-loop points never alias closed-loop ones. The terms
+// record what the caller asked for, not what the experiment used:
+// passing -link to a closed-loop sweep re-keys (and re-simulates)
+// results a spec-less run already holds — the conservative direction, a
+// stale alias is impossible.
 func (o Options) cacheKey(variant string, cores int) string {
-	return fmt.Sprintf("%s|%d|seed=%d|quick=%t|placement=%s|fault=%s",
-		variant, cores, o.seed(), o.Quick, o.Placement.String(), o.faultString())
+	return fmt.Sprintf("%s|%d|seed=%d|quick=%t|placement=%s|fault=%s|arrival=%s|link=%s|shed=%s",
+		variant, cores, o.seed(), o.Quick, o.Placement.String(), o.faultString(),
+		o.Arrival.String(), o.Link.String(), o.Shed.String())
 }
 
 // faultString renders o.Fault canonically for the cache key.

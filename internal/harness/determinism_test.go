@@ -12,7 +12,7 @@ import (
 // seed must produce bit-identical Series, run twice in serial mode, twice
 // in parallel mode, and across the two modes.
 func TestSweepDeterminism(t *testing.T) {
-	for _, id := range []string{"scount", "fig5", "dram", "ht"} {
+	for _, id := range []string{"scount", "fig5", "dram", "ht", "latload"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -24,14 +24,19 @@ func scale(n int, quick bool) int {
 // point converts an app result to a harness point.
 func point(r apps.Result, variant string, perCoreScale float64) Point {
 	return Point{
-		Cores:      r.Cores,
-		Variant:    variant,
-		PerCore:    r.PerCore() * perCoreScale,
-		UserMicros: r.UserMicrosPerOp(),
-		SysMicros:  r.SysMicrosPerOp(),
-		DRAMUtil:   r.DRAMUtil,
-		LinkUtil:   r.LinkUtil,
-		Retries:    r.RetriesPerOp(),
+		Cores:          r.Cores,
+		Variant:        variant,
+		PerCore:        r.PerCore() * perCoreScale,
+		UserMicros:     r.UserMicrosPerOp(),
+		SysMicros:      r.SysMicrosPerOp(),
+		DRAMUtil:       r.DRAMUtil,
+		LinkUtil:       r.LinkUtil,
+		Retries:        r.RetriesPerOp(),
+		Dups:           r.DupsPerOp(),
+		OfferedPerCore: r.OfferedPerCore * perCoreScale,
+		P50Micros:      r.SojournMicros(0.50),
+		P99Micros:      r.SojournMicros(0.99),
+		P999Micros:     r.SojournMicros(0.999),
 	}
 }
 

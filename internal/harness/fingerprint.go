@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fprint"
 	"repro/internal/kernel"
+	"repro/internal/load"
 	"repro/internal/mem"
 	"repro/internal/topo"
 )
@@ -28,6 +29,7 @@ var costDomains = func() map[string]string {
 		"mem":    mem.Fingerprint(),
 		"kernel": kernel.Fingerprint(),
 		"fault":  fault.Fingerprint(),
+		"load":   load.Fingerprint(),
 	}
 	for app, fp := range apps.Fingerprints() {
 		d["apps/"+app] = fp

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/load"
 	"repro/internal/mem"
 	"repro/internal/topo"
 )
@@ -35,8 +36,21 @@ type Point struct {
 	// run (nil for workloads that do no bulk streaming).
 	LinkUtil []float64
 	// Retries is client-visible network retransmissions per operation —
-	// zero except under injected packet loss (Options.Fault).
+	// zero except under injected packet loss (Options.Fault) or open-loop
+	// overload (client timeouts and link loss).
 	Retries float64
+	// Dups is discarded duplicate deliveries per operation — injected NIC
+	// dups plus, open-loop, client retransmissions of queued requests.
+	Dups float64
+	// OfferedPerCore is the open-loop offered arrival rate per core in
+	// the figure's units (0 for closed-loop points). PerCore is then
+	// goodput: dividing the two gives the delivered fraction.
+	OfferedPerCore float64
+	// P50Micros, P99Micros, and P999Micros are client-perceived latency
+	// quantiles in microseconds (0 for closed-loop points). The tail
+	// diverging from P50 while PerCore still tracks OfferedPerCore is the
+	// open-loop experiments' headline signal.
+	P50Micros, P99Micros, P999Micros float64
 }
 
 // Series is the result of one experiment: one or more variant curves.
@@ -139,6 +153,16 @@ type Options struct {
 	// Results are bit-for-bit identical either way (pinned by
 	// TestContSchedDeterminism); the knob exists for that comparison.
 	NoContSched bool
+	// Arrival, Link, and Shed configure the open-loop experiments
+	// (latload): the arrival process, the client-side link shaper, and
+	// the server's admission policy. Nil means each experiment's default
+	// (poisson arrivals, ideal link, per-variant shedding). Their
+	// canonical strings are part of the sweep cache key, so open-loop
+	// points never alias closed-loop ones. Closed-loop experiments
+	// ignore them.
+	Arrival *load.ArrivalSpec
+	Link    *load.LinkSpec
+	Shed    *load.ShedSpec
 
 	// abandoned is set by runGuarded's watchdog when it gives up on this
 	// point; the flag tells a later-unwedged point body that its result
@@ -467,6 +491,25 @@ func Format(s *Series) string {
 				fmt.Fprintf(&b, "  %-28s %2d cores: %s\n", v, c, formatUtil(p.DRAMUtil))
 			}
 		}
+		// Tail latency, one row per open-loop point: offered rate,
+		// delivered goodput, and the sojourn quantiles. p99 pulling away
+		// from p50 while goodput still tracks offered is the overload
+		// early warning the mean never shows.
+		wroteHeader = false
+		for _, v := range variants {
+			for _, c := range cores {
+				p, ok := s.Get(v, c)
+				if !ok || p.OfferedPerCore == 0 {
+					continue
+				}
+				if !wroteHeader {
+					b.WriteString("tail latency (offered/core, goodput/core, p50/p99/p999 us):\n")
+					wroteHeader = true
+				}
+				fmt.Fprintf(&b, "  %-28s %3d: %10.0f %10.0f %8.1f %8.1f %8.1f\n",
+					v, c, p.OfferedPerCore, p.PerCore, p.P50Micros, p.P99Micros, p.P999Micros)
+			}
+		}
 		// Per-link HT utilization: the busiest link pinned near 1.00 while
 		// controllers idle is interconnect saturation.
 		wroteHeader = false
@@ -517,10 +560,11 @@ func formatUtil(util []float64) string {
 // data).
 func CSV(s *Series) string {
 	var b strings.Builder
-	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,retries,dram_util,link_util\n")
+	b.WriteString("experiment,variant,cores,per_core,user_us,sys_us,retries,dups,offered_per_core,p50_us,p99_us,p999_us,dram_util,link_util\n")
 	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%s,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%s,%s\n",
 			s.ID, p.Variant, p.Cores, p.PerCore, p.UserMicros, p.SysMicros, p.Retries,
+			p.Dups, p.OfferedPerCore, p.P50Micros, p.P99Micros, p.P999Micros,
 			joinUtil(p.DRAMUtil), joinUtil(p.LinkUtil))
 	}
 	return b.String()

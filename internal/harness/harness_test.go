@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig10", "fig11", "fig12", "tbl-hw", "dma", "nic-env", "ablate",
 		"profile", "sloppy-threshold", "spool-dirs", "lockmgr", "steering",
 		"scalable-locks", "scount", "dram", "ht", "degrade", "machines",
+		"latload",
 	}
 	for _, id := range want {
 		if ByID(id) == nil {

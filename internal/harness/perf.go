@@ -47,8 +47,8 @@ func timeOp(name string, ops int64, fn func()) BenchResult {
 // and returns machine-readable results: engine dispatch (the non-yielding
 // Advance fast path), the proc-to-proc handoff, spawn/run cycles on fresh
 // vs reused engines (continuation-scheduled and goroutine-parked),
-// quick-sweep wall-clock cold vs warm-cache, and the cold full-grid fig4
-// sweep whole and as one shard of two. The committed BENCH_sweep.json is
+// quick-sweep wall-clock cold vs warm-cache, the open-loop latload quick
+// sweep, and the cold full-grid fig4 sweep whole and as one shard of two. The committed BENCH_sweep.json is
 // the baseline; CI reruns the suite and fails on >2x regression of any
 // metric (CompareBenchReports).
 func RunPerfSuite() []BenchResult {
@@ -144,6 +144,18 @@ func RunPerfSuite() []BenchResult {
 				}))
 			}
 		}
+	}
+
+	// Open-loop tail-latency sweep: the latload quick grid simulates a
+	// calibration run plus a sustained-overload run per point, so its
+	// wall-clock tracks the open-loop client and shaper hot paths (cohort
+	// scheduling, histogram recording, retransmission bookkeeping) that no
+	// closed-loop sweep exercises.
+	{
+		latload := ByID("latload")
+		out = append(out, timeOp("quick_sweep_latload", 1, func() {
+			latload.Run(Options{Quick: true, Seed: 1})
+		}))
 	}
 
 	// Cold full-grid sweep: fig4 across the paper's entire 1..48 x-axis

@@ -1,0 +1,116 @@
+package load
+
+import "math/bits"
+
+// histSubBits is the number of sub-bucket bits per power of two: 3 bits =
+// 8 sub-buckets, bounding the relative quantization error at 1/8 =~ 12.5%.
+// Changing it reshapes every recorded distribution, so it is part of the
+// load fingerprint.
+const histSubBits = 3
+
+const (
+	histSub = 1 << histSubBits // sub-buckets per octave
+	// Values below histSub<<1 get exact buckets (index == value): the
+	// log-bucket formula needs exp >= histSubBits+1.
+	histExact = histSub << 1
+	// 64 octaves of histSub sub-buckets, minus the histExact low indices
+	// the exact region covers, plus the histExact exact buckets.
+	histBuckets = 64*histSub - histExact + histExact
+)
+
+// Hist is a fixed-geometry log-bucketed histogram of non-negative int64
+// samples (cycle counts). The bucket layout is pure integer arithmetic —
+// no floats — so recording is bit-deterministic across architectures and
+// GOMAXPROCS, and two histograms merge by adding counts bucket-wise,
+// which is exactly equivalent to recording the union of their samples.
+// That mergeability is what lets sweep shards and per-core recorders
+// each keep a private Hist and combine them later without ordering
+// sensitivity.
+type Hist struct {
+	counts [histBuckets]int64
+	n      int64
+}
+
+// bucketOf maps a sample to its bucket index. Values below histExact are
+// exact; above, the index is (octave, sub-bucket) where the sub-bucket is
+// the histSubBits bits after the leading one.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histExact {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	sub := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return exp*histSub + int(sub) - histExact
+}
+
+// bucketMax returns the largest value that maps to bucket i — the
+// representative reported for quantiles, so reported latencies are
+// conservative (never below the true quantile's bucket floor).
+func bucketMax(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	exp := (i + histExact) / histSub
+	sub := (i + histExact) % histSub
+	base := int64(1) << uint(exp)
+	step := base >> histSubBits
+	return base + int64(sub+1)*step - 1
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v int64) {
+	h.counts[bucketOf(v)]++
+	h.n++
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Merge adds o's counts into h. Merging is commutative and associative,
+// and merge(a,b) is indistinguishable from having recorded both sample
+// streams into one histogram.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// Quantile returns the value at quantile q in [0,1]: the representative
+// (upper bound) of the bucket holding the ceil(q*n)-th smallest sample.
+// Monotone in q by construction — the rank walk only ever moves right.
+// Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketMax(i)
+		}
+	}
+	return bucketMax(histBuckets - 1)
+}

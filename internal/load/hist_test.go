@@ -1,0 +1,155 @@
+package load
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// samples returns a deterministic mixed-scale sample stream: exact-bucket
+// ints, octave boundaries, and PRNG draws spanning many decades.
+func samples(n int) []int64 {
+	r := xrand.New(7)
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			out = append(out, int64(i%histExact)) // exact region
+		case 1:
+			out = append(out, (int64(1)<<uint(i%40))-1) // power-of-two edges
+		case 2:
+			out = append(out, int64(1)<<uint(i%40))
+		default:
+			out = append(out, int64(r.Float64()*1e12))
+		}
+	}
+	return out
+}
+
+// TestHistMergeIsUnion is the mergeability property the sharded sweep
+// relies on: recording a stream into two halves and merging equals
+// recording the whole stream into one histogram.
+func TestHistMergeIsUnion(t *testing.T) {
+	s := samples(4000)
+	var whole, a, b Hist
+	for _, v := range s {
+		whole.Record(v)
+	}
+	for i, v := range s {
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merge(a,b) differs from recording the union stream")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("quantile %v differs after merge: %d vs %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistQuantileMonotone: quantiles never decrease as q increases.
+func TestHistQuantileMonotone(t *testing.T) {
+	var h Hist
+	for _, v := range samples(3000) {
+		h.Record(v)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestHistQuantileBounds: the reported quantile is a conservative upper
+// bound — at least the true sample, within one sub-bucket (12.5%) above.
+func TestHistQuantileBounds(t *testing.T) {
+	var h Hist
+	h.Record(1000)
+	got := h.Quantile(0.5)
+	if got < 1000 {
+		t.Errorf("quantile %d below the only sample 1000", got)
+	}
+	if got > 1000+1000/histSub {
+		t.Errorf("quantile %d more than one sub-bucket above 1000", got)
+	}
+}
+
+// TestHistBucketInvariants: bucketMax is the largest value of its bucket
+// and buckets tile the non-negative int64 range in order. Buckets past
+// the one holding MaxInt64 are unreachable, so the walk stops there.
+func TestHistBucketInvariants(t *testing.T) {
+	top := bucketOf(math.MaxInt64)
+	if bucketMax(top) != math.MaxInt64 {
+		t.Fatalf("bucketMax(top) = %d, want MaxInt64", bucketMax(top))
+	}
+	for i := 0; i < top; i++ {
+		hi := bucketMax(i)
+		if bucketOf(hi) != i {
+			t.Fatalf("bucketOf(bucketMax(%d)) = %d", i, bucketOf(hi))
+		}
+		if bucketOf(hi+1) != i+1 {
+			t.Fatalf("bucketOf(%d) = %d, want %d (buckets must tile)", hi+1, bucketOf(hi+1), i+1)
+		}
+	}
+}
+
+// TestHistDeterministicAcrossGOMAXPROCS: bucket assignment is pure
+// integer arithmetic, so per-goroutine recording merged in a fixed order
+// is byte-identical no matter how many OS threads raced — the property
+// that keeps parallel sweeps bit-deterministic.
+func TestHistDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	s := samples(8000)
+	run := func(procs int) Hist {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		const workers = 8
+		parts := make([]Hist, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := w; i < len(s); i += workers {
+					parts[w].Record(s[i])
+				}
+			}()
+		}
+		wg.Wait()
+		var total Hist
+		for i := range parts {
+			total.Merge(&parts[i])
+		}
+		return total
+	}
+	one, many := run(1), run(runtime.NumCPU())
+	if one != many {
+		t.Fatal("histogram differs between GOMAXPROCS=1 and parallel recording")
+	}
+}
+
+func TestHistEmptyAndNil(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	var nilH *Hist
+	if nilH.Count() != 0 {
+		t.Error("nil histogram count should be 0")
+	}
+	h.Merge(nil) // must not panic
+	if h.Count() != 0 {
+		t.Error("merging nil changed the count")
+	}
+}

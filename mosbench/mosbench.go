@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/load"
 	"repro/internal/mem"
 	"repro/internal/topo"
 )
@@ -62,6 +63,19 @@ type Options struct {
 	// past it is abandoned and reported in Series.Failed. Zero means the
 	// default (2 minutes).
 	PointTimeout time.Duration
+	// Arrival selects the open-loop arrival process for load experiments
+	// (latload): "poisson[:users=N]" or "pareto[:alpha=A][,users=N]".
+	// Empty or "none" keeps the experiment's default. See CheckArrival.
+	Arrival string
+	// Link shapes the simulated client link for open-loop experiments:
+	// comma-separated "rtt=20ms±5", "loss=0.1%", "bw=10mbit" fields.
+	// Empty or "none" is an ideal link. See CheckLink.
+	Link string
+	// Shed selects the open-loop server's admission policy: "fifo"
+	// (unbounded queue), "qlen=N" (bounded accept queue), or
+	// "delay=100us" (delay-bounded accept queue). Empty keeps the
+	// experiment's default. See CheckShed.
+	Shed string
 	// Machine selects the simulated host by registered profile name
 	// ("s4985", "ring16", "mesh4x4", "big192", ...; see Machines). Empty
 	// runs the paper's default 48-core Tyan S4985. A non-default machine
@@ -139,6 +153,25 @@ func lookupMachine(name string) (*topo.Machine, error) {
 // "remote", "home:N") without running anything.
 func CheckPlacement(s string) error {
 	_, err := mem.ParsePlacement(s)
+	return err
+}
+
+// CheckArrival validates an open-loop arrival spec without running
+// anything.
+func CheckArrival(s string) error {
+	_, err := load.ParseArrival(s)
+	return err
+}
+
+// CheckLink validates a link-shaping spec without running anything.
+func CheckLink(s string) error {
+	_, err := load.ParseLink(s)
+	return err
+}
+
+// CheckShed validates an admission-control spec without running anything.
+func CheckShed(s string) error {
+	_, err := load.ParseShed(s)
 	return err
 }
 
@@ -245,8 +278,18 @@ type Point struct {
 	// run (nil for workloads that stream no bulk data).
 	LinkUtil []float64
 	// Retries is client-visible network retransmissions per operation —
-	// zero except under injected packet loss (Options.Fault).
+	// zero except under injected packet loss (Options.Fault) or open-loop
+	// overload (timeout-driven resends).
 	Retries float64
+	// Dups is server-side duplicate suppressions per operation: client
+	// retransmissions a TCP-backed server recognized and discarded.
+	Dups float64
+	// OfferedPerCore is the open-loop offered load (req/s/core); zero for
+	// closed-loop experiments. PerCore is then goodput, not throughput.
+	OfferedPerCore float64
+	// P50Micros, P99Micros, and P999Micros are client-perceived sojourn
+	// quantiles in microseconds for open-loop experiments; zero otherwise.
+	P50Micros, P99Micros, P999Micros float64
 }
 
 // FailedPoint identifies one sweep point that produced no measurement:
@@ -386,6 +429,15 @@ func Run(id string, o Options) (*Series, error) {
 		}
 		ho.Fault = spec
 	}
+	if ho.Arrival, err = load.ParseArrival(o.Arrival); err != nil {
+		return nil, err
+	}
+	if ho.Link, err = load.ParseLink(o.Link); err != nil {
+		return nil, err
+	}
+	if ho.Shed, err = load.ParseShed(o.Shed); err != nil {
+		return nil, err
+	}
 	if o.Cache != nil {
 		ho.Cache = o.Cache.inner
 	}
@@ -396,6 +448,8 @@ func Run(id string, o Options) (*Series, error) {
 			Cores: p.Cores, Variant: p.Variant, PerCore: p.PerCore,
 			UserMicros: p.UserMicros, SysMicros: p.SysMicros,
 			DRAMUtil: p.DRAMUtil, LinkUtil: p.LinkUtil, Retries: p.Retries,
+			Dups: p.Dups, OfferedPerCore: p.OfferedPerCore,
+			P50Micros: p.P50Micros, P99Micros: p.P99Micros, P999Micros: p.P999Micros,
 		})
 	}
 	for _, f := range hs.Failed {
