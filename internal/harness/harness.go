@@ -104,7 +104,7 @@ type Options struct {
 	Machine *topo.Machine
 	// Cores is the sweep; nil uses the experiment's default, scaled to the
 	// machine.
-	Cores []int
+	Cores []int //mosvet:allow cachekeylint selects which points run; each point is keyed by its own core count (cacheKey's cores argument)
 	// Seed is the deterministic PRNG seed.
 	Seed uint64
 	// Quick shrinks op budgets and the sweep for fast smoke runs.
@@ -114,7 +114,7 @@ type Options struct {
 	// Model, and PRNG) execute concurrently across GOMAXPROCS workers;
 	// results are assembled by index, so both modes produce identical
 	// Series.
-	Serial bool
+	Serial bool //mosvet:allow cachekeylint execution strategy only: serial and parallel sweeps produce identical Series, assembled by index
 	// Placement selects the bulk-data placement policy for the workloads
 	// that stream through the memory system (Metis, pedsort, gmake,
 	// PostgreSQL). The zero value is local placement, the pre-option
@@ -123,13 +123,13 @@ type Options struct {
 	// Cache, when non-nil, memoizes sweep points by (experiment, variant,
 	// cores, seed, quick, placement): hits skip simulation entirely, and
 	// misses are stored so a repeated grid run is served from the cache.
-	Cache *Cache
+	Cache *Cache //mosvet:allow cachekeylint the cache handle itself; whether points are memoized cannot change what they compute
 	// FreshEngines disables the engine arena: every sweep point builds a
 	// brand-new sim.Engine instead of resetting a pooled one. Results are
 	// bit-for-bit identical either way (pinned by
 	// TestEngineReuseDeterminism); the knob exists for that comparison and
 	// as an escape hatch.
-	FreshEngines bool
+	FreshEngines bool //mosvet:allow cachekeylint fresh and reused engines are bit-for-bit identical, pinned by TestEngineReuseDeterminism
 	// Fault, when non-nil and non-empty, is the deterministic fault plan
 	// injected into every kernel the experiment boots: degraded or dead HT
 	// links, throttled memory controllers, offlined cores, NIC packet
@@ -139,20 +139,20 @@ type Options struct {
 	// PointTimeout is the per-sweep-point wall-clock watchdog; a point
 	// that runs past it is abandoned and reported in Series.Failed. Zero
 	// means the default (2 minutes).
-	PointTimeout time.Duration
+	PointTimeout time.Duration //mosvet:allow cachekeylint wall-clock watchdog: it can abandon a point (reported failed, kept out of the cache), never change its value
 	// Shards and ShardIndex split the sweep's point grid across
 	// cooperating processes (see shard.go): with Shards > 1, this run
 	// computes only the points whose identity hashes to ShardIndex and
 	// silently skips the rest. Shard runs should share a Cache directory;
 	// a follow-up run with Shards unset then merges every shard's points
 	// into a complete Series. Validate combinations with ValidateShards.
-	Shards, ShardIndex int
+	Shards, ShardIndex int //mosvet:allow cachekeylint sharding selects which points this process computes; the merged grid is byte-identical to the single-process run
 	// NoContSched disables continuation scheduling in every engine this
 	// run builds: SpawnCont bodies execute on parked goroutines through
 	// the directive interpreter instead of inline on the dispatcher.
 	// Results are bit-for-bit identical either way (pinned by
 	// TestContSchedDeterminism); the knob exists for that comparison.
-	NoContSched bool
+	NoContSched bool //mosvet:allow cachekeylint both scheduling modes are bit-for-bit identical, pinned by TestContSchedDeterminism
 	// Arrival, Link, and Shed configure the open-loop experiments
 	// (latload): the arrival process, the client-side link shaper, and
 	// the server's admission policy. Nil means each experiment's default
@@ -167,14 +167,14 @@ type Options struct {
 	// abandoned is set by runGuarded's watchdog when it gives up on this
 	// point; the flag tells a later-unwedged point body that its result
 	// must not reach the shared cache. Nil outside runGuarded.
-	abandoned *atomic.Bool
+	abandoned *atomic.Bool //mosvet:allow cachekeylint runtime bookkeeping set per attempt; never an input to the simulation
 	// slot is the calling sweep worker's pooled engine, set by
 	// parallelMap; nil outside a sweep (fresh engines are used then).
-	slot *engineSlot
+	slot *engineSlot //mosvet:allow cachekeylint engine pooling handle; reuse is bit-for-bit identical to fresh engines
 	// slotGen pins the slot generation this Options was issued under; a
 	// stale generation (the watchdog abandoned the slot) makes newEngine
 	// fall back to a throwaway engine. See engineSlot.
-	slotGen uint64
+	slotGen uint64 //mosvet:allow cachekeylint slot-generation guard for the watchdog; selects an engine, never changes results
 }
 
 // DefaultCores is the standard sweep on the default machine, a subset of
@@ -320,7 +320,7 @@ func (o Options) parallelMap(n int, fn func(i int, o Options)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int) { //mosvet:allow detlint sweep workers parallelize independent points (each owns its engine and PRNG); results are assembled by index
 			defer wg.Done()
 			// Worker 0 inherits the caller's (experiment-level) slot
 			// instead of leaving it idle, keeping the whole grid at no

@@ -66,7 +66,7 @@ func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Op
 		err error
 	}
 	ch := make(chan outcome, 1)
-	go func() {
+	go func() { //mosvet:allow detlint the watchdog's point body must run off the caller's goroutine so a wedged simulation can be abandoned
 		defer func() {
 			if r := recover(); r != nil {
 				ch <- outcome{err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
@@ -77,7 +77,7 @@ func (o Options) runGuarded(exp, variant string, cores, attempt int, f func(o Op
 		}
 		ch <- outcome{p: f(co)}
 	}()
-	timer := time.NewTimer(o.pointTimeout())
+	timer := time.NewTimer(o.pointTimeout()) //mosvet:allow detlint the watchdog races real time against a wedged simulation by design; timeouts only abandon points, never shape results
 	defer timer.Stop()
 	select {
 	case out := <-ch:

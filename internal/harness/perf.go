@@ -10,6 +10,8 @@ import (
 	"repro/internal/topo"
 )
 
+//mosvet:allowfile detlint the perf suite's whole purpose is measuring real elapsed time; nothing here feeds simulated results
+
 // BenchResult is one machine-readable performance measurement.
 type BenchResult struct {
 	// Name identifies the measurement (stable across runs, so results can

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The suppression directives. A diagnostic is deliberate when the code is
+// a sanctioned boundary (perf.go's wall-clock timers, the watchdog's real
+// timers); the directive records that decision next to the code with a
+// mandatory reason:
+//
+//	//mosvet:allow <analyzer> <reason>      — this line and the next
+//	//mosvet:allowfile <analyzer> <reason>  — the whole file
+//
+// A directive with no reason, or naming no known analyzer, is itself a
+// diagnostic (analyzer "mosvet") and cannot be suppressed: the point of
+// the mechanism is the recorded why.
+const (
+	allowPrefix     = "//mosvet:allow "
+	allowFilePrefix = "//mosvet:allowfile "
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// //mosvet:allow directives are reported.
+const DirectiveAnalyzer = "mosvet"
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type fileKey struct {
+	file     string
+	analyzer string
+}
+
+// Allows is the parsed suppression state for one package.
+type Allows struct {
+	lines map[allowKey]bool
+	files map[fileKey]bool
+	// Problems are malformed directives, reported as diagnostics under
+	// DirectiveAnalyzer.
+	Problems []Diagnostic
+}
+
+// ParseAllows scans every comment in files for //mosvet:allow directives.
+// known is the set of valid analyzer names (for typo detection).
+func ParseAllows(fset *token.FileSet, files []*ast.File, known []string) *Allows {
+	a := &Allows{lines: map[allowKey]bool{}, files: map[fileKey]bool{}}
+	knownSet := map[string]bool{DirectiveAnalyzer: true}
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a.parse(fset, c, knownSet, known)
+			}
+		}
+	}
+	return a
+}
+
+func (a *Allows) parse(fset *token.FileSet, c *ast.Comment, known map[string]bool, names []string) {
+	text := c.Text
+	var wholeFile bool
+	var rest string
+	switch {
+	case strings.HasPrefix(text, allowFilePrefix):
+		wholeFile, rest = true, text[len(allowFilePrefix):]
+	case strings.HasPrefix(text, allowPrefix):
+		rest = text[len(allowPrefix):]
+	case strings.HasPrefix(text, "//mosvet:"):
+		// Some other mosvet: directive — catch typos like
+		// //mosvet:alow or //mosvet:allow-with-no-space-args.
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: DirectiveAnalyzer,
+			Message:  fmt.Sprintf("malformed mosvet directive %q: want //mosvet:allow <analyzer> <reason> or //mosvet:allowfile <analyzer> <reason>", text),
+		})
+		return
+	default:
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: DirectiveAnalyzer,
+			Message:  "mosvet directive names no analyzer: want //mosvet:allow <analyzer> <reason>",
+		})
+		return
+	}
+	name := fields[0]
+	if !known[name] {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: DirectiveAnalyzer,
+			Message:  fmt.Sprintf("mosvet directive allows unknown analyzer %q (have %s)", name, strings.Join(sortedCopy(names), ", ")),
+		})
+		return
+	}
+	if len(fields) < 2 {
+		a.Problems = append(a.Problems, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: DirectiveAnalyzer,
+			Message:  fmt.Sprintf("mosvet directive allows %q without a reason: the recorded why is the point — state it", name),
+		})
+		return
+	}
+	pos := fset.Position(c.Pos())
+	if wholeFile {
+		a.files[fileKey{pos.Filename, name}] = true
+		return
+	}
+	a.lines[allowKey{pos.Filename, pos.Line, name}] = true
+}
+
+// Suppressed reports whether a diagnostic by the named analyzer at pos is
+// covered by an allow directive: one for the whole file, one on the same
+// line, or one on the line directly above.
+func (a *Allows) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	if a.files[fileKey{p.Filename, analyzer}] {
+		return true
+	}
+	return a.lines[allowKey{p.Filename, p.Line, analyzer}] ||
+		a.lines[allowKey{p.Filename, p.Line - 1, analyzer}]
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}

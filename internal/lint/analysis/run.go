@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run applies analyzers to one loaded package and returns the surviving
+// diagnostics: suppressions applied (//mosvet:allow), malformed
+// directives added, diagnostics in _test.go files dropped (tests exercise
+// violations deliberately — the determinism and scheduler contracts bind
+// shipped simulator code), and the result sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	allows := ParseAllows(pkg.Fset, pkg.Files, names)
+
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	out = append(out, allows.Problems...)
+
+	kept := out[:0]
+	for _, d := range out {
+		p := pkg.Fset.Position(d.Pos)
+		if strings.HasSuffix(p.Filename, "_test.go") {
+			continue
+		}
+		if d.Analyzer != DirectiveAnalyzer && allows.Suppressed(pkg.Fset, d.Analyzer, d.Pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return kept, nil
+}
+
+// Format renders one diagnostic the way vet does: position, analyzer,
+// message.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// Position is a convenience for drivers that relativize paths.
+func Position(fset *token.FileSet, pos token.Pos) token.Position {
+	return fset.Position(pos)
+}

@@ -1,0 +1,26 @@
+package cachekeylint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cachekeylint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMissingField(t *testing.T) {
+	linttest.Run(t, cachekeylint.Analyzer, "testdata/src/ckbad", "repro/internal/harness")
+}
+
+func TestNoBuilder(t *testing.T) {
+	linttest.Run(t, cachekeylint.Analyzer, "testdata/src/ckmissing", "repro/internal/harness")
+}
+
+func TestAllowFileSuppresses(t *testing.T) {
+	linttest.Run(t, cachekeylint.Analyzer, "testdata/src/ckfileallow", "repro/internal/harness")
+}
+
+// TestOutsideScopeSilent: cachekeylint binds exactly the harness
+// package; the same defective fixture elsewhere is not its business.
+func TestOutsideScopeSilent(t *testing.T) {
+	linttest.RunSilent(t, cachekeylint.Analyzer, "testdata/src/ckbad", "repro/internal/other")
+}

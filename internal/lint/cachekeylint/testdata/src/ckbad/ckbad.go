@@ -1,0 +1,21 @@
+// Package harness (fixture) exercises cachekeylint: one field folded
+// into cacheKey directly, one through a helper, one forgotten (the
+// diagnostic), and one annotated as key-exempt.
+package harness
+
+import "fmt"
+
+type Options struct {
+	Machine string
+	Seed    int64
+	Secret  int  // want "Options.Secret is not folded into the sweep cache key"
+	Debug   bool //mosvet:allow cachekeylint display-only: changes logging, never the simulated point
+}
+
+// seed is a helper on the cache-key path: fields it reads count as
+// folded in.
+func (o *Options) seed() int64 { return o.Seed }
+
+func (o *Options) cacheKey(variant string, cores int) string {
+	return fmt.Sprintf("%s|%s|%d|%d", variant, o.Machine, cores, o.seed())
+}

@@ -1,0 +1,10 @@
+// Package harness (fixture) proves //mosvet:allowfile: the whole file
+// is exempt from cachekeylint, so the missing builder goes unreported.
+// No expectation comments here: the test asserts silence.
+//
+//mosvet:allowfile cachekeylint fixture: cache disabled in this configuration, nothing is memoized
+package harness
+
+type Options struct {
+	Machine string
+}

@@ -1,0 +1,7 @@
+// Package harness (fixture): an Options with no cache-key builder at
+// all is itself the defect — nothing keys the memoized points.
+package harness
+
+type Options struct { // want "Options has no cache-key builder"
+	Machine string
+}

@@ -1,0 +1,296 @@
+// Package contcheck statically enforces the continuation scheduler's
+// discipline: a ContFunc segment runs inline on the scheduler's
+// goroutine, so it must finish by returning a directive
+// (AdvanceThen/IdleThen/UseThen/BlockThen/Goto/Stop) — calling a
+// yielding Proc method (Advance, Idle, IdleUntil, Block, AdvanceUser) or
+// Resource.Use from a segment panics at dispatch time, deep inside a
+// sweep. contcheck converts that runtime panic into a vet diagnostic.
+//
+// It finds every function used as a sim.ContFunc — passed where a
+// ContFunc parameter is expected (Engine.SpawnCont, the *Then directive
+// builders, Goto), assigned to a ContFunc variable or field, or returned
+// from a ContFunc-producing function — and walks the package's static
+// call graph from each, reporting any path that reaches a yielding call.
+// Function literals nested inside a segment (bodies handed to
+// Engine.Spawn, which legitimately yield) are not part of the segment's
+// own execution and are skipped; they are analyzed separately if they are
+// themselves ContFuncs. Cross-package calls are not followed — a segment
+// that charges through another package's helper needs that helper's own
+// discipline (or an annotation).
+package contcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the contcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "contcheck",
+	Doc:  "flag yielding Proc/Resource calls reachable from continuation segments (sim.ContFunc), which panic at dispatch time",
+	Run:  run,
+}
+
+const simPath = "repro/internal/sim"
+
+// yieldMethods are the blocking entry points, per receiver type.
+var yieldMethods = map[string]map[string]bool{
+	"Proc":     {"Advance": true, "AdvanceUser": true, "Idle": true, "IdleUntil": true, "Block": true},
+	"Resource": {"Use": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "repro/") {
+		return nil
+	}
+	pkg := &analysis.Package{Fset: pass.Fset, Files: pass.Files, Types: pass.Pkg, Info: pass.TypesInfo}
+	funcs := analysis.DeclaredFuncs(pkg)
+
+	// yielding[f] = a sample yielding call description, for any declared
+	// function that can reach a yield without leaving the package.
+	yielding := map[*types.Func]string{}
+	directYield := func(body ast.Node) string {
+		found := ""
+		analysis.WalkCalls(body, true, func(call *ast.CallExpr) {
+			if found == "" {
+				if desc := yieldCall(pass, call); desc != "" {
+					found = desc
+				}
+			}
+		})
+		return found
+	}
+	for fn, decl := range funcs {
+		if decl.Body == nil {
+			continue
+		}
+		if desc := directYield(decl.Body); desc != "" {
+			yielding[fn] = desc
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range funcs {
+			if _, done := yielding[fn]; done || decl.Body == nil {
+				continue
+			}
+			analysis.WalkCalls(decl.Body, true, func(call *ast.CallExpr) {
+				callee := analysis.StaticCallee(pass.TypesInfo, call)
+				if callee == nil || !analysis.SamePackage(callee, pass.Pkg) {
+					return
+				}
+				if via, ok := yielding[callee]; ok {
+					if _, done := yielding[fn]; !done {
+						yielding[fn] = callee.Name() + " → " + via
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Roots: every expression used as a sim.ContFunc.
+	seenFunc := map[*types.Func]bool{}
+	var report []analysis.Diagnostic
+	addRoot := func(expr ast.Expr) {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.FuncLit:
+			if desc := directYield(e.Body); desc != "" {
+				report = append(report, analysis.Diagnostic{Pos: e.Pos(),
+					Message: segmentMessage("continuation segment", desc)})
+			}
+			// Calls from the literal into declared functions:
+			analysis.WalkCalls(e.Body, true, func(call *ast.CallExpr) {
+				callee := analysis.StaticCallee(pass.TypesInfo, call)
+				if callee == nil || !analysis.SamePackage(callee, pass.Pkg) {
+					return
+				}
+				if via, ok := yielding[callee]; ok {
+					report = append(report, analysis.Diagnostic{Pos: call.Pos(),
+						Message: segmentMessage("continuation segment", callee.Name()+" → "+via)})
+				}
+			})
+		case *ast.Ident, *ast.SelectorExpr:
+			var obj types.Object
+			if id, ok := e.(*ast.Ident); ok {
+				obj = pass.TypesInfo.Uses[id]
+			} else {
+				obj = pass.TypesInfo.Uses[e.(*ast.SelectorExpr).Sel]
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || !analysis.SamePackage(fn, pass.Pkg) || seenFunc[fn] {
+				return
+			}
+			seenFunc[fn] = true
+			if via, ok := yielding[fn]; ok {
+				report = append(report, analysis.Diagnostic{Pos: expr.Pos(),
+					Message: segmentMessage("segment "+fn.Name(), via)})
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			forEachContFuncUse(pass, n, addRoot)
+			return true
+		})
+		forEachContFuncReturn(pass, file, addRoot)
+	}
+
+	sort.SliceStable(report, func(i, j int) bool { return report[i].Pos < report[j].Pos })
+	for _, d := range report {
+		pass.Report(d)
+	}
+	return nil
+}
+
+func segmentMessage(what, via string) string {
+	return what + " can reach yielding call " + via +
+		": segments run inline on the scheduler and must return directives (AdvanceThen/IdleThen/UseThen/BlockThen) instead"
+}
+
+// yieldCall describes call if it invokes a yielding sim method, else "".
+func yieldCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != simPath {
+		return ""
+	}
+	recv := recvTypeName(fn)
+	if methods, ok := yieldMethods[recv]; ok && methods[fn.Name()] {
+		return recv + "." + fn.Name()
+	}
+	return ""
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isContFunc reports whether t is (or aliases) sim.ContFunc.
+func isContFunc(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ContFunc" && obj.Pkg() != nil && obj.Pkg().Path() == simPath
+}
+
+// forEachContFuncUse finds expressions in n used where a sim.ContFunc is
+// expected: call arguments whose parameter type is ContFunc, assignments
+// and declarations of ContFunc variables, composite-literal elements, and
+// returns from ContFunc-producing functions.
+func forEachContFuncUse(pass *analysis.Pass, n ast.Node, use func(ast.Expr)) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		tv, ok := pass.TypesInfo.Types[n.Fun]
+		if !ok {
+			return
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return
+		}
+		for i, arg := range n.Args {
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if pi < sig.Params().Len() && isContFunc(sig.Params().At(pi).Type()) {
+				use(arg)
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if i < len(n.Lhs) {
+				if tv, ok := pass.TypesInfo.Types[n.Lhs[i]]; ok && isContFunc(tv.Type) {
+					use(rhs)
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, v := range n.Values {
+			if i < len(n.Names) {
+				if obj := pass.TypesInfo.Defs[n.Names[i]]; obj != nil && isContFunc(obj.Type()) {
+					use(v)
+				}
+			}
+		}
+	case *ast.KeyValueExpr:
+		// Struct composite fields typed ContFunc: the literal value's
+		// context type is not recorded, so check the key's field type.
+		if key, ok := n.Key.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[key]; obj != nil && isContFunc(obj.Type()) {
+				use(n.Value)
+			}
+		}
+	}
+}
+
+// forEachContFuncReturn finds expressions returned where the enclosing
+// function's result type is ContFunc (the `step = func(i int) ContFunc {
+// return func(p *Proc) Cont {...} }` factory pattern). Each function
+// body is scanned with nested literals skipped, so a return belongs to
+// exactly one signature.
+func forEachContFuncReturn(pass *analysis.Pass, file *ast.File, use func(ast.Expr)) {
+	var scan func(fn ast.Node, sig *types.Signature)
+	scan = func(fn ast.Node, sig *types.Signature) {
+		var body *ast.BlockStmt
+		switch fn := fn.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil || sig == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok {
+					if s, ok := tv.Type.(*types.Signature); ok {
+						scan(n, s)
+					}
+				}
+				return false
+			case *ast.ReturnStmt:
+				for i, res := range n.Results {
+					if i < sig.Results().Len() && isContFunc(sig.Results().At(i).Type()) {
+						use(res)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				scan(fd, obj.Type().(*types.Signature))
+			}
+		}
+	}
+}

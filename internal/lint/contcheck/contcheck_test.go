@@ -1,0 +1,20 @@
+package contcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/contcheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestViolations(t *testing.T) {
+	linttest.Run(t, contcheck.Analyzer, "testdata/src/contbad", "repro/internal/contbad")
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	linttest.Run(t, contcheck.Analyzer, "testdata/src/contallow", "repro/internal/contallow")
+}
+
+func TestOutsideScopeSilent(t *testing.T) {
+	linttest.RunSilent(t, contcheck.Analyzer, "testdata/src/contbad", "example.com/outside")
+}

@@ -1,0 +1,17 @@
+// Package contallow proves //mosvet:allow contcheck: a segment use
+// annotated at the reporting site (the reference, where the diagnostic
+// anchors) is suppressed. No want comments: the test asserts silence.
+package contallow
+
+import "repro/internal/sim"
+
+// drainSeg blocks on purpose; the fixture pretends it is only ever
+// dispatched under the goroutine fallback interpreter.
+func drainSeg(p *sim.Proc) sim.Cont {
+	p.Block()
+	return p.Stop()
+}
+
+func spawn(e *sim.Engine) {
+	e.SpawnCont(0, "drain", 0, drainSeg) //mosvet:allow contcheck fixture: fallback-only segment, never dispatched inline
+}

@@ -1,0 +1,74 @@
+// Package contbad seeds every way a continuation segment can illegally
+// reach a yielding call: directly, through a same-package helper,
+// through a Resource, from a factory-returned literal, and via a
+// ContFunc variable. The clean shapes (directive returns, Spawn'd
+// goroutine children that yield on their own stacks) must stay silent.
+package contbad
+
+import "repro/internal/sim"
+
+// badSeg yields directly: Idle blocks, which panics at dispatch time on
+// a continuation proc.
+func badSeg(p *sim.Proc) sim.Cont {
+	p.Idle(50)
+	return p.Stop()
+}
+
+// chargeHelper is legal in a goroutine-backed proc body — the violation
+// is reaching it from a segment.
+func chargeHelper(p *sim.Proc) {
+	p.Block()
+}
+
+// transitSeg reaches the yield one call deep.
+func transitSeg(p *sim.Proc) sim.Cont {
+	chargeHelper(p)
+	return p.Stop()
+}
+
+// lateSeg exists for the ContFunc-variable root below.
+func lateSeg(p *sim.Proc) sim.Cont {
+	p.IdleUntil(99)
+	return p.Stop()
+}
+
+var segVar sim.ContFunc = lateSeg // want "segment lateSeg can reach yielding call Proc.IdleUntil"
+
+// useSeg is the factory pattern: the returned literal is a segment, and
+// it consumes the resource with the blocking call instead of UseThen.
+func useSeg(r *sim.Resource) sim.ContFunc {
+	return func(p *sim.Proc) sim.Cont { // want "continuation segment can reach yielding call Resource.Use"
+		r.Use(p, 100)
+		return p.Stop()
+	}
+}
+
+func spawnAll(e *sim.Engine, r *sim.Resource) {
+	e.SpawnCont(0, "bad", 0, badSeg)                      // want "segment badSeg can reach yielding call Proc.Idle"
+	e.SpawnCont(0, "transit", 0, transitSeg)              // want "segment transitSeg can reach yielding call chargeHelper → Proc.Block"
+	e.SpawnCont(0, "lit", 0, func(p *sim.Proc) sim.Cont { // want "continuation segment can reach yielding call Proc.Advance"
+		p.Advance(10)
+		return p.Stop()
+	})
+	e.SpawnCont(0, "use", 0, useSeg(r))
+}
+
+// goodSeg is the directive discipline contcheck exists to steer code
+// toward: every transition is a returned directive.
+func goodSeg(p *sim.Proc) sim.Cont {
+	return p.AdvanceThen(10, func(p *sim.Proc) sim.Cont {
+		return p.IdleThen(5, nil)
+	})
+}
+
+// spawnChild is the sanctioned nested-yield shape: a segment may Spawn a
+// goroutine-backed child whose body yields — the child runs on its own
+// stack, not inline on the scheduler, so contcheck must not flag it.
+func spawnChild(e *sim.Engine) sim.ContFunc {
+	return func(p *sim.Proc) sim.Cont {
+		e.Spawn(0, "child", 0, func(c *sim.Proc) {
+			c.Advance(100)
+		})
+		return p.Stop()
+	}
+}

@@ -1,0 +1,28 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detlint"
+	"repro/internal/lint/linttest"
+)
+
+func TestViolations(t *testing.T) {
+	linttest.Run(t, detlint.Analyzer, "testdata/src/detbad", "repro/internal/detbad")
+}
+
+func TestAllowDirectives(t *testing.T) {
+	linttest.Run(t, detlint.Analyzer, "testdata/src/detallow", "repro/internal/detallow")
+}
+
+// TestOutsideScopeSilent reloads the violating fixture under an import
+// path detlint does not police: no diagnostics may survive.
+func TestOutsideScopeSilent(t *testing.T) {
+	linttest.RunSilent(t, detlint.Analyzer, "testdata/src/detbad", "example.com/outside")
+}
+
+// TestLintTreeExempt: the lint tree itself is exempt (analyzers iterate
+// maps and shell out freely), even though it lives under repro/internal.
+func TestLintTreeExempt(t *testing.T) {
+	linttest.RunSilent(t, detlint.Analyzer, "testdata/src/detbad", "repro/internal/lint/detbad")
+}

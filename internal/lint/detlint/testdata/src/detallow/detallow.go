@@ -1,0 +1,30 @@
+// Package detallow proves the //mosvet:allow directive machinery: a
+// directive with a reason suppresses the diagnostic on its line or the
+// line below; a directive missing its reason, or naming an unknown
+// analyzer, is itself a diagnostic that no directive can silence.
+package detallow
+
+import "time"
+
+// deadline is a sanctioned wall-clock boundary, annotated with why.
+func deadline() int64 {
+	//mosvet:allow detlint this is a watchdog-style real-time boundary, pinned by the fixture
+	return time.Now().UnixNano()
+}
+
+// sameLine shows a trailing same-line directive.
+func sameLine() {
+	time.Sleep(time.Millisecond) //mosvet:allow detlint fixture: wall-clock boundary on the same line
+}
+
+func missingReason() int64 {
+	//mosvet:allow detlint
+	// want-1 "mosvet directive allows \"detlint\" without a reason"
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+func unknownAnalyzer() {
+	//mosvet:allow nosuchcheck the analyzer name is wrong
+	// want-1 "mosvet directive allows unknown analyzer \"nosuchcheck\""
+	_ = 0
+}

@@ -1,0 +1,106 @@
+// Package detbad seeds one of every violation class detlint guards
+// against. Each want comment pins the diagnostic; the same files loaded
+// under a non-repro import path must produce nothing (scope gating).
+package detbad
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+func wallSleep() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want "global math/rand.Intn"
+}
+
+// localDraw seeds its own generator: allowed.
+func localDraw() int {
+	return rand.New(rand.NewSource(1)).Intn(6)
+}
+
+func strayGoroutine(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine spawned outside the sim engine"
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside a map range"
+	}
+	return out
+}
+
+// sortedKeys is the recommended fix: collecting then sorting is
+// deterministic, so the append is not flagged.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "order-sensitive accumulation into total"
+	}
+	return total
+}
+
+// intSum is order-independent: integer addition commutes exactly.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "order-sensitive accumulation into s"
+	}
+	return s
+}
+
+func stream(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside a map range"
+	}
+}
+
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString inside a map range"
+	}
+	return b.String()
+}
+
+// localBuilder is declared inside the loop: each iteration owns it, so
+// iteration order cannot leak into anything.
+func localBuilder(m map[string]int) {
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		_ = b.String()
+	}
+}

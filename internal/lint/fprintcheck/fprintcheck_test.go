@@ -1,0 +1,26 @@
+package fprintcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/fprintcheck"
+	"repro/internal/lint/linttest"
+)
+
+// TestRegressionSeed pins the deliberately-unfingerprinted cost
+// constants in the fpseed fixture: fprintcheck must keep firing on them.
+func TestRegressionSeed(t *testing.T) {
+	linttest.Run(t, fprintcheck.Analyzer, "testdata/src/fpseed", "repro/internal/fpseed")
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	linttest.Run(t, fprintcheck.Analyzer, "testdata/src/fpallow", "repro/internal/fpallow")
+}
+
+func TestNoFingerprintSilent(t *testing.T) {
+	linttest.Run(t, fprintcheck.Analyzer, "testdata/src/fpnone", "repro/internal/fpnone")
+}
+
+func TestOutsideScopeSilent(t *testing.T) {
+	linttest.RunSilent(t, fprintcheck.Analyzer, "testdata/src/fpseed", "example.com/outside")
+}

@@ -1,0 +1,27 @@
+// Package fpallow proves //mosvet:allow fprintcheck: a charged constant
+// annotated with a reason is exempt from the fingerprint requirement.
+// The fixture carries no want comments, so the test asserts silence.
+package fpallow
+
+import "repro/internal/fprint"
+
+type meter struct{ n int64 }
+
+func (m *meter) Use(v int64) { m.n += v }
+
+// debugSpin is charged but deliberately excluded from the fingerprint:
+//
+//mosvet:allow fprintcheck diagnostic-only spin cost, zeroed in every cached configuration
+const debugSpin = 3
+
+const realCost = 9
+
+func tick(m *meter) {
+	m.Use(debugSpin)
+	m.Use(realCost)
+}
+
+// Fingerprint records only the constant that matters to cached results.
+func Fingerprint() string {
+	return fprint.New("fpallow").C("realCost", realCost).Sum()
+}

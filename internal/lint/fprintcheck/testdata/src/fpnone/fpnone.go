@@ -1,0 +1,13 @@
+// Package fpnone has charging calls and cost constants but no
+// fingerprint surface at all. fprintcheck has nothing to reconcile
+// against and must stay silent: a charging package with no fingerprint
+// is caught at experiment registration, not by vet.
+package fpnone
+
+type meter struct{ n int64 }
+
+func (m *meter) Advance(v int64) { m.n += v }
+
+const cost = 5
+
+func step(m *meter) { m.Advance(cost) }

@@ -1,0 +1,58 @@
+// Package fpseed is the fprintcheck regression seed: a package whose
+// charging path references cost constants its Fingerprint deliberately
+// omits. The want comments pin the diagnostics; if fprintcheck ever
+// stops firing here, the cache-poisoning bug class it guards against
+// has gone invisible again.
+package fpseed
+
+import "repro/internal/fprint"
+
+// clock stands in for the engine's charging surface: to fprintcheck,
+// any method call named Advance/Use/AccessSet/... is a charging
+// callsite, whatever the receiver type.
+type clock struct{ t int64 }
+
+func (c *clock) Advance(d int64) { c.t += d }
+
+const (
+	costHit  = 120 // recorded below: fine
+	costMiss = 250 // want "cost constant costMiss feeds the charging path"
+)
+
+// costBase is covered transitively: the fingerprint records costDerived,
+// whose declaration references costBase, so costBase moving already
+// changes the recorded value.
+const costBase = 40
+
+const costDerived = costBase * 2
+
+// costVarMiss feeds charging only through a package var's initializer;
+// the reference is traced through the var and flagged at the constant.
+const costVarMiss = 7 // want "cost constant costVarMiss feeds the charging path"
+
+var tunedCost = costVarMiss * 3
+
+// mode tags are an iota enumeration: variant selectors, not costs.
+const (
+	modeA = iota
+	modeB
+)
+
+func runSeed(c *clock, mode int) {
+	c.Advance(costHit)
+	c.Advance(costMiss)
+	c.Advance(costBase)
+	c.Advance(int64(tunedCost))
+	if mode == modeB {
+		c.Advance(costHit)
+	}
+}
+
+// Fingerprint records the package's cost constants — minus the two the
+// fixture deliberately omits.
+func Fingerprint() string {
+	return fprint.New("fpseed").
+		C("costHit", costHit).
+		C("costDerived", costDerived).
+		Sum()
+}

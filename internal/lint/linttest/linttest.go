@@ -1,0 +1,175 @@
+// Package linttest is the mosvet analog of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// package from a testdata directory, runs one analyzer over it through
+// the same driver pipeline cmd/mosvet uses (so //mosvet:allow
+// suppression is exercised, not bypassed), and compares the surviving
+// diagnostics against `// want "regexp"` comments in the fixture
+// sources.
+//
+// Expectation syntax, on the line the diagnostic anchors to:
+//
+//	m[k] = append(out, v) // want "append to out inside a map range"
+//
+// Multiple `// want` fragments on one line expect multiple diagnostics.
+// A fixture with no want comments asserts the analyzer is silent.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// wantRE also accepts a relative line offset (`// want-1 "re"`): the
+// expectation anchors that many lines away from the comment — needed
+// when the diagnostic lands on a comment line itself (malformed
+// //mosvet:allow directives), where a same-line want cannot fit.
+var wantRE = regexp.MustCompile(`// want([+-][0-9]+)? (.*)$`)
+
+// Run loads the fixture package in dir (a path relative to the test's
+// working directory, conventionally testdata/src/<name>), presents it to
+// the analyzer under the given import path, and checks diagnostics
+// against the fixture's want comments. The import path matters because
+// the analyzers self-gate on it: detlint fixtures want a
+// repro/internal/... path, cachekeylint exactly repro/internal/harness.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := loader.Dir(dir, importPath)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", dir, err)
+	}
+	got, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: run %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, pkg, got)
+}
+
+// RunSilent loads the fixture like Run but asserts the analyzer reports
+// nothing at all, ignoring any want comments in the sources. It exists
+// for scope-gating tests: the same violating fixture that fires under a
+// repro/internal/... import path must be silent under an out-of-scope
+// one.
+func RunSilent(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := loader.Dir(dir, importPath)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", dir, err)
+	}
+	got, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: run %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range got {
+		pos := pkg.Fset.Position(d.Pos)
+		t.Errorf("want silence under import path %s, got diagnostic at %s:%d: %s: %s",
+			importPath, filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+	}
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Pos()).Filename
+		wants = append(wants, parseWants(t, pkg.Fset, fname, f)...)
+	}
+	for _, d := range got {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("missing diagnostic at %s:%d matching %s",
+				filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, fname string, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if m[1] != "" {
+				off, err := strconv.Atoi(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want offset %q", fname, line, m[1])
+				}
+				line += off
+			}
+			for _, raw := range splitQuoted(t, fname, line, m[2]) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, raw, err)
+				}
+				out = append(out, &expectation{file: fname, line: line, re: re, raw: fmt.Sprintf("%q", raw)})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses one or more Go-quoted strings: `"a" "b"`.
+func splitQuoted(t *testing.T, fname string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: want expectation must be quoted strings, got %q", fname, line, s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want string %q", fname, line, s)
+		}
+		out = append(out, s[1:end])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -168,7 +168,7 @@ func NewModel(m *topo.Machine) *Model {
 		lines:  make([]state, 0, initialLineCap),
 		stats:  make([]*prof.LineStats, 0, initialLineCap),
 		chipOf: chipOf,
-		words:  (m.NCores + 63) / 64 - 1,
+		words:  (m.NCores+63)/64 - 1,
 		Prof:   prof.New(),
 	}
 }

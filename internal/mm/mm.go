@@ -297,8 +297,8 @@ type PageStructs struct {
 
 // pageFieldCount: field 0 = flags (read-mostly), field 1 = refcount.
 const (
-	pageFieldFlags = 0
-	pageFieldCount = 1
+	pageFieldFlags = 0 //mosvet:allow fprintcheck field index, not a tunable cost; the layout variation is the padded flag, keyed per variant
+	pageFieldCount = 1 //mosvet:allow fprintcheck field index, not a tunable cost; the layout variation is the padded flag, keyed per variant
 )
 
 // NewPageStructs allocates n sampled page structs.
